@@ -1,0 +1,33 @@
+"""Benchmark harness glue.
+
+Every benchmark regenerates one of the paper's figures or tables: it
+computes the figure's data series on the simulated device, prints the rows,
+persists them under ``benchmarks/results/``, and asserts the qualitative
+shape the paper reports (who wins, directions, rough factors).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a figure's regenerated rows and echo them to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Compile-time cost of the Echo pass itself.
+
+Echo is a compiler pass that runs once before training starts (like the
+autotuning microbenchmark, its cost amortizes over every subsequent
+iteration). This benchmark measures the pass's wall-clock on growing NMT
+graphs and asserts it stays both sub-quadratic-ish in graph size and
+trivially amortized (<< one epoch).
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.echo import EchoPass
+from repro.experiments import format_table
+from repro.models import NmtConfig, build_nmt
+from repro.nn import Backend
+
+SEQ_LENS = (10, 20, 40)
+
+
+def _pass_seconds(seq_len: int) -> tuple[int, float]:
+    cfg = NmtConfig(
+        src_vocab_size=1000, tgt_vocab_size=1000, embed_size=64,
+        hidden_size=64, encoder_layers=1, decoder_layers=1,
+        src_len=seq_len, tgt_len=seq_len, batch_size=16,
+        backend=Backend.CUDNN,
+    )
+    model = build_nmt(cfg)
+    num_nodes = len(model.graph.nodes())
+    start = time.perf_counter()
+    EchoPass().run(model.graph)
+    return num_nodes, time.perf_counter() - start
+
+
+def test_pass_compile_time_scales(benchmark, save_result):
+    def compute():
+        return {t: _pass_seconds(t) for t in SEQ_LENS}
+
+    points = run_once(benchmark, compute)
+    rows = [
+        (t, nodes, round(seconds * 1e3, 1),
+         round(seconds / nodes * 1e6, 1))
+        for t, (nodes, seconds) in points.items()
+    ]
+    save_result(
+        "echo_compile_time",
+        format_table(
+            ["seq len", "graph nodes", "pass ms", "us/node"],
+            rows,
+            "Echo pass compile time vs graph size",
+        ),
+    )
+    nodes_small, time_small = points[SEQ_LENS[0]]
+    nodes_big, time_big = points[SEQ_LENS[-1]]
+    node_ratio = nodes_big / nodes_small
+    time_ratio = time_big / max(time_small, 1e-9)
+    # Sub-quadratic growth in graph size (mining + a few re-plans).
+    assert time_ratio < node_ratio ** 2
+    # And absolutely small: well under a second per compile here.
+    assert time_big < 5.0

@@ -1,0 +1,83 @@
+"""Extension: Echo on the DeepSpeech2-style ASR workload.
+
+The Echo paper's evaluation includes an LSTM-based speech model alongside
+NMT. Its stash profile differs instructively: there is no O(B x T^2 x H)
+attention blow-up, only the bidirectional LSTM stack's per-frame states,
+so the reduction is smaller than NMT's — but still well above 1x, at the
+same bounded overhead, with the conv front-end correctly left alone.
+"""
+
+from benchmarks.conftest import run_once
+from repro.echo import optimize
+from repro.experiments import format_table, gib, measure_training
+from repro.gpumodel import DeviceModel
+from repro.models import DeepSpeechConfig, build_deepspeech
+from repro.nn import Backend
+
+CFG = DeepSpeechConfig(
+    vocab_size=29,
+    feat_dim=40,
+    num_frames=100,
+    conv_channels=32,
+    hidden_size=256,
+    num_layers=3,
+    max_label_len=20,
+    batch_size=32,
+    backend=Backend.CUDNN,
+)
+
+
+def test_echo_on_deepspeech(benchmark, save_result):
+    def compute():
+        base_model = build_deepspeech(CFG)
+        base = measure_training(
+            base_model.graph, CFG.batch_size, "DS2 baseline",
+            device=DeviceModel(),
+            num_params=base_model.store.num_parameters(),
+        )
+        echo_model = build_deepspeech(CFG)
+        report = optimize(echo_model.graph, device=DeviceModel())
+        echo = measure_training(
+            echo_model.graph, CFG.batch_size, "DS2 + Echo",
+            device=DeviceModel(),
+            num_params=echo_model.store.num_parameters(),
+        )
+        return base, echo, report
+
+    base, echo, report = run_once(benchmark, compute)
+    rows = [
+        (m.label, round(gib(m.total_bytes), 3), round(m.throughput, 1))
+        for m in (base, echo)
+    ]
+    save_result(
+        "ext_deepspeech",
+        format_table(
+            ["configuration", "GiB", "utterances/s"], rows,
+            "Extension: Echo on DeepSpeech2-style ASR "
+            f"(reduction {base.total_bytes / echo.total_bytes:.2f}x, "
+            f"overhead {100 * report.overhead_fraction:.1f}%)",
+        ),
+    )
+
+    # A real model-memory reduction, smaller than NMT's attention-driven
+    # one. (nvidia-smi totals are dominated by the constant CUDA context
+    # at this model size, so the assertion is on the planner's peaks.)
+    assert 1.15 < report.footprint_reduction < 3.0
+    # Bounded overhead, throughput preserved.
+    assert report.overhead_fraction <= 0.12 + 1e-9
+    # ASR has no attention blow-up: the saving comes from replaying the
+    # h/c chains, whose mirrors launch as separate kernels in this cost
+    # model (the authors' fused backward does it for free), so a ~10%
+    # throughput cost buys the reduction here. EXPERIMENTS.md discusses.
+    assert echo.throughput >= 0.85 * base.throughput
+    # The conv front-end is not recomputed.
+    from repro.graph import Stage
+    from repro.runtime import schedule
+
+    echo_model = build_deepspeech(CFG)
+    optimize(echo_model.graph, device=DeviceModel())
+    assert all(
+        not n.op.name.startswith("conv2d")
+        for n in schedule(echo_model.graph.outputs)
+        if n.stage is Stage.RECOMPUTE
+    )

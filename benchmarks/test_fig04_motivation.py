@@ -1,0 +1,60 @@
+"""Figure 4: CNN vs RNN training-throughput scaling with batch size.
+
+(a) ResNet-50 throughput saturates once the GPU's compute units fill;
+(b) NMT throughput keeps growing with batch size until the model hits the
+GPU memory-capacity wall — the observation motivating footprint reduction.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DEFAULT, ZHU, format_table, gib, measure_nmt
+from repro.gpumodel import DeviceModel
+from repro.models.resnet_manifest import resnet50_throughput
+
+BATCHES = (4, 8, 16, 32, 64, 128, 256)
+
+
+def test_fig4a_resnet50_saturates(benchmark, save_result):
+    device = DeviceModel()
+
+    def compute():
+        return {b: resnet50_throughput(device, b) for b in BATCHES}
+
+    curve = run_once(benchmark, compute)
+    rows = [(b, round(thr, 1)) for b, thr in curve.items()]
+    save_result(
+        "fig04a_resnet50",
+        format_table(["batch", "images/s"], rows,
+                     "Figure 4a: ResNet-50 training throughput vs batch"),
+    )
+    # Strong growth at small batch, saturation at large batch.
+    assert curve[32] / curve[4] > 2.0
+    assert curve[256] / curve[32] < 1.35
+
+
+def test_fig4b_nmt_hits_memory_wall(benchmark, save_result):
+    def compute():
+        points = {}
+        for b in (16, 32, 64, 128, 256):
+            m = measure_nmt(ZHU.with_batch_size(b), DEFAULT)
+            points[b] = (m.throughput, m.total_bytes, m.fits_in_memory)
+        return points
+
+    points = run_once(benchmark, compute)
+    rows = [
+        (b, round(thr, 1), round(gib(mem), 2), "yes" if fits else "OOM")
+        for b, (thr, mem, fits) in points.items()
+    ]
+    save_result(
+        "fig04b_nmt",
+        format_table(
+            ["batch", "samples/s", "GiB", "fits 12GiB"],
+            rows,
+            "Figure 4b: NMT throughput & memory vs batch (Titan Xp)",
+        ),
+    )
+    # Throughput keeps growing through B=128 (no saturation plateau)...
+    assert points[128][0] / points[16][0] > 2.0
+    assert points[128][0] > points[64][0] > points[32][0]
+    # ...but B=128 is the last batch that fits: the memory wall.
+    assert points[128][2], "B=128 must fit (paper: ~9 GB on 12 GB card)"
+    assert not points[256][2], "B=256 must exceed the 12 GiB capacity"

@@ -1,0 +1,75 @@
+"""Figure 6: NMT runtime breakdown by GPU kernel and by CUDA API.
+
+The paper's findings, all asserted here on the raw Default baseline:
+* the sequential SequenceReverse implementation dominates GPU-kernel time
+  (an engineering pathology — ~1 GB/s effective bandwidth);
+* after parallelizing it (par_rev), fully-connected/sgemm kernels are the
+  real runtime bottleneck;
+* softmax is NOT the bottleneck (refuting Britz et al.: <1% of runtime);
+* CUDA API (cudaLaunch) time is substantial because of hundreds of tiny
+  kernels.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DEFAULT, DEFAULT_RAW, ZHU, format_table, measure_nmt
+
+
+def test_fig6_runtime_breakdown(benchmark, save_result):
+    def compute():
+        return measure_nmt(ZHU, DEFAULT_RAW), measure_nmt(ZHU, DEFAULT)
+
+    raw, par_rev = run_once(benchmark, compute)
+
+    def rows(measurement):
+        rt = measurement.runtime
+        return [
+            (fam, round(sec * 1e3, 2), round(100 * rt.kernel_fraction(fam), 1))
+            for fam, sec in sorted(rt.by_kernel.items(), key=lambda kv: -kv[1])
+        ]
+
+    text = (
+        format_table(
+            ["GPU kernel", "ms", "% of kernel time"], rows(raw),
+            "Figure 6: Default (sequential SequenceReverse)",
+        )
+        + "\n\n"
+        + format_table(
+            ["GPU kernel", "ms", "% of kernel time"], rows(par_rev),
+            "Figure 6: Default^par_rev (after the Section 5.1 fix)",
+        )
+        + "\n\n"
+        + format_table(
+            ["CUDA API", "ms"],
+            [(k, round(v * 1e3, 1))
+             for k, v in par_rev.runtime.api_by_kind.items()],
+            "Figure 6 (right): CUDA API time",
+        )
+    )
+    save_result("fig06_runtime_breakdown", text)
+
+    # SequenceReverse dominates before the fix (largest kernel family)...
+    top_raw = max(raw.runtime.by_kernel, key=raw.runtime.by_kernel.get)
+    assert top_raw == "SequenceReverse"
+    assert raw.runtime.kernel_fraction("SequenceReverse") > 0.4
+    # ...and becomes negligible after it.
+    assert par_rev.runtime.kernel_fraction("SequenceReverse") < 0.02
+    # Fully-connected (sgemm) kernels are then the real bottleneck: all
+    # GEMM families together dominate, and no single other family beats
+    # the fully-connected share.
+    sgemm_total = (
+        par_rev.runtime.kernel_fraction("sgemm (fully-connected)")
+        + par_rev.runtime.kernel_fraction("sgemm (batched)")
+    )
+    assert sgemm_total > 0.45
+    non_gemm = {
+        fam: sec for fam, sec in par_rev.runtime.by_kernel.items()
+        if not fam.startswith("sgemm")
+    }
+    assert all(
+        sec / par_rev.runtime.kernel_seconds < sgemm_total
+        for sec in non_gemm.values()
+    )
+    # Softmax is NOT the bottleneck (paper: 0.3% of total runtime).
+    assert par_rev.runtime.kernel_fraction("softmax") < 0.10
+    # Launch overhead is a significant fraction of the iteration.
+    assert par_rev.runtime.api_seconds > 0.2 * par_rev.runtime.kernel_seconds

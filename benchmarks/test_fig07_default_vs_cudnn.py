@@ -1,0 +1,67 @@
+"""Figure 7: why the framework's own LSTM loses ~2x to cuDNN.
+
+(a) On a 1-layer LSTM (B=64, H=512) the Default backend spends comparable
+time in cudaLaunch calls and GPU kernels — the unfused "f" block becomes a
+dozen kernels per timestep. The fused backend's time is dominated by
+kernels instead.
+(b) cuDNN's own kernel time is dominated by sgemm (the fully-connected
+gates), which is what makes data layout optimization worthwhile.
+"""
+
+from benchmarks.conftest import run_once
+from repro.backends import Backend, pure_lstm_graph
+from repro.experiments import format_table
+from repro.gpumodel import DeviceModel
+from repro.profiler import profile_runtime
+from repro.runtime import TrainingExecutor
+
+B, H, L, T = 64, 512, 1, 50
+
+
+def _profile(backend):
+    graph, _ = pure_lstm_graph(B, H, L, T, backend)
+    executor = TrainingExecutor(graph, device=DeviceModel())
+    return profile_runtime(executor.simulate_cost().timings)
+
+
+def test_fig7a_launch_overhead_comparison(benchmark, save_result):
+    def compute():
+        return _profile(Backend.DEFAULT), _profile(Backend.CUDNN)
+
+    default, cudnn = run_once(benchmark, compute)
+    rows = [
+        ("Default", round(default.kernel_seconds * 1e3, 2),
+         round(default.api_seconds * 1e3, 2), default.launches),
+        ("CuDNN", round(cudnn.kernel_seconds * 1e3, 2),
+         round(cudnn.api_seconds * 1e3, 2), cudnn.launches),
+    ]
+    save_result(
+        "fig07a_default_vs_cudnn",
+        format_table(
+            ["backend", "GPU kernels (ms)", "CUDA APIs (ms)", "launches"],
+            rows,
+            "Figure 7a: 1-layer LSTM (B=64, H=512) runtime profile",
+        ),
+    )
+    # Default: launch time comparable to kernel time (within 2.5x).
+    ratio = default.api_seconds / default.kernel_seconds
+    assert 0.4 < ratio < 2.5
+    # The fused backend launches far fewer kernels.
+    assert cudnn.launches < default.launches / 2.5
+    # And is faster end to end (paper: up to 2x).
+    assert default.iteration_seconds / cudnn.iteration_seconds > 1.4
+
+
+def test_fig7b_cudnn_kernel_breakdown(benchmark, save_result):
+    cudnn = run_once(benchmark, lambda: _profile(Backend.CUDNN))
+    rows = [
+        (fam, round(sec * 1e3, 2), round(100 * cudnn.kernel_fraction(fam), 1))
+        for fam, sec in sorted(cudnn.by_kernel.items(), key=lambda kv: -kv[1])
+    ]
+    save_result(
+        "fig07b_cudnn_kernels",
+        format_table(["kernel", "ms", "%"], rows,
+                     "Figure 7b: CuDNN-backend GPU kernel breakdown"),
+    )
+    # sgemm dominates cuDNN's kernel time (paper speculation, confirmed).
+    assert cudnn.kernel_fraction("sgemm (fully-connected)") > 0.5

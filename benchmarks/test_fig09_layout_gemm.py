@@ -1,0 +1,73 @@
+"""Figure 9: the data-layout GEMM study.
+
+Y = X.W^T versus Y^T = W.X^T do the same arithmetic but differ ~2x in
+runtime at LSTM shapes (W [2048 x 512], X [64 x 512]) and ~1.3x at GRU
+shapes (W [3072 x 1024], X [64 x 1024]); the faster form also shows the
+higher cache utilization. The gap shrinks as the batch dimension grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_table
+from repro.gpumodel import DeviceModel
+
+
+def _compare(device, n_rows, n_cols, k):
+    """(row-major est, col-major est) for X[n_rows x k] . W[n_cols x k]^T."""
+    row = device.gemm_estimate(n_rows, n_cols, k)   # Y   = X . W^T
+    col = device.gemm_estimate(n_cols, n_rows, k)   # Y^T = W . X^T
+    return row, col
+
+
+def test_fig9a_lstm_shape(benchmark, save_result):
+    device = DeviceModel()
+    row, col = run_once(benchmark, lambda: _compare(device, 64, 2048, 512))
+    rows = [
+        ("Y = X.W^T (row-major)", round(row.seconds * 1e6, 1),
+         round(row.l2_hit_rate, 3)),
+        ("Y^T = W.X^T (col-major)", round(col.seconds * 1e6, 1),
+         round(col.l2_hit_rate, 3)),
+    ]
+    save_result(
+        "fig09a_lstm_gemm",
+        format_table(["form", "us", "L2 hit (proxy)"], rows,
+                     "Figure 9a: LSTM-cell GEMM (B=64, H=512)"),
+    )
+    speedup = row.seconds / col.seconds
+    assert 1.6 < speedup < 2.4, f"paper: ~2x, got {speedup:.2f}x"
+    assert col.l2_hit_rate > row.l2_hit_rate
+
+
+def test_fig9b_gru_shape(benchmark, save_result):
+    device = DeviceModel()
+    row, col = run_once(benchmark, lambda: _compare(device, 64, 3072, 1024))
+    rows = [
+        ("Y = X.W^T (row-major)", round(row.seconds * 1e6, 1),
+         round(row.l2_hit_rate, 3)),
+        ("Y^T = W.X^T (col-major)", round(col.seconds * 1e6, 1),
+         round(col.l2_hit_rate, 3)),
+    ]
+    save_result(
+        "fig09b_gru_gemm",
+        format_table(["form", "us", "L2 hit (proxy)"], rows,
+                     "Figure 9b: GRU-cell GEMM (B=64, H=1024)"),
+    )
+    speedup = row.seconds / col.seconds
+    assert 1.15 < speedup < 1.7, f"paper: ~1.3x, got {speedup:.2f}x"
+
+
+@pytest.mark.parametrize("batch", [32, 64, 128, 256, 512])
+def test_fig9_gap_narrows_with_batch(benchmark, save_result, batch):
+    """Both operands become less skewed as B grows, so the layout gap —
+    and hence the whole optimization's value — shrinks (Section 4.2)."""
+    device = DeviceModel()
+    row, col = run_once(benchmark, lambda: _compare(device, batch, 2048, 512))
+    speedup = row.seconds / col.seconds
+    save_result(
+        f"fig09_sweep_b{batch}",
+        f"layout speedup at B={batch}: {speedup:.3f}x",
+    )
+    if batch >= 256:
+        small_row, small_col = _compare(device, 32, 2048, 512)
+        assert speedup < small_row.seconds / small_col.seconds

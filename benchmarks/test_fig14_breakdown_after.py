@@ -1,0 +1,56 @@
+"""Figure 14: memory breakdown before vs after Echo.
+
+The paper's movements: attention layers 59% -> 6% of total; feature maps
+shrink by tens of points; workspace grows slightly (the recompute
+regions' shared arena); weights' *share* grows because the total shrank.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DEFAULT, ECHO, ZHU, format_table, measure_nmt
+
+
+def test_fig14_breakdown_before_after(benchmark, save_result):
+    def compute():
+        return measure_nmt(ZHU, DEFAULT), measure_nmt(ZHU, ECHO)
+
+    base, echo = run_once(benchmark, compute)
+
+    def fraction_rows(view_base: dict, view_echo: dict):
+        keys = sorted(set(view_base) | set(view_echo))
+        total_b, total_e = base.total_bytes, echo.total_bytes
+        return [
+            (k, round(100 * view_base.get(k, 0) / total_b, 1),
+             round(100 * view_echo.get(k, 0) / total_e, 1))
+            for k in keys
+        ]
+
+    text = (
+        format_table(
+            ["layer type", "Default %", "Echo %"],
+            fraction_rows(base.memory.by_layer, echo.memory.by_layer),
+            "Figure 14a: by layer type (share of total)",
+        )
+        + "\n\n"
+        + format_table(
+            ["data structure", "Default %", "Echo %"],
+            fraction_rows(
+                base.memory.by_data_structure(),
+                echo.memory.by_data_structure(),
+            ),
+            "Figure 14b: by data structure (share of total)",
+        )
+    )
+    save_result("fig14_breakdown_after", text)
+
+    att_before = base.memory.by_layer.get("attention", 0) / base.total_bytes
+    att_after = echo.memory.by_layer.get("attention", 0) / echo.total_bytes
+    assert att_before > 0.45          # paper: 59%
+    assert att_after < 0.10           # paper: 6%
+    # Feature-map share decreases; workspace share does not decrease.
+    assert echo.memory.fraction("feature_maps") < base.memory.fraction(
+        "feature_maps"
+    )
+    assert echo.memory.workspace >= base.memory.workspace
+    # Weights' *share* grows because the denominator halved.
+    assert (echo.memory.weights / echo.total_bytes
+            > base.memory.weights / base.total_bytes)

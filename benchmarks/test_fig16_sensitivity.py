@@ -1,0 +1,109 @@
+"""Figure 16: footprint-reduction sensitivity to model hyperparameters.
+
+Sweeping (a) the number of LSTM layers and (b) the hidden dimension at the
+primary setting (T=50 variant to keep the sweep tractable): Echo's
+reduction persists across every point, and configurations that blow past
+the 12 GiB card under Default fit under Echo — "the ability to run more
+layers and increase the hidden dimension if needed".
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    DEFAULT,
+    ECHO,
+    ZHU,
+    ZHU_T50,
+    format_table,
+    gib,
+    measure_nmt,
+)
+
+LAYER_SWEEP = (1, 2, 3, 4)
+HIDDEN_SWEEP = (256, 512, 768, 1024)
+
+
+def test_fig16a_layers(benchmark, save_result):
+    def compute():
+        points = {}
+        for layers in LAYER_SWEEP:
+            cfg = replace(
+                ZHU_T50, encoder_layers=layers, decoder_layers=layers
+            )
+            base = measure_nmt(cfg, DEFAULT)
+            echo = measure_nmt(cfg, ECHO)
+            points[layers] = (base.total_bytes, echo.total_bytes)
+        return points
+
+    points = run_once(benchmark, compute)
+    rows = [
+        (layers, round(gib(b), 2), round(gib(e), 2), round(b / e, 2))
+        for layers, (b, e) in points.items()
+    ]
+    save_result(
+        "fig16a_layers",
+        format_table(
+            ["layers", "Default GiB", "Echo GiB", "reduction"],
+            rows,
+            "Figure 16a: memory vs number of LSTM layers (B=128, T=50)",
+        ),
+    )
+    for layers, (b, e) in points.items():
+        assert b / e > 1.5, f"reduction collapsed at {layers} layers"
+    # Memory grows with depth under both implementations.
+    bases = [points[l][0] for l in LAYER_SWEEP]
+    assert bases == sorted(bases)
+
+
+def test_fig16b_hidden_dim(benchmark, save_result):
+    # The hidden sweep runs at the full primary setting (T=100): that is
+    # where the paper's dashed "no longer fits" region appears.
+    def compute():
+        points = {}
+        for hidden in HIDDEN_SWEEP:
+            cfg = replace(ZHU, hidden_size=hidden, embed_size=hidden)
+            base = measure_nmt(cfg, DEFAULT)
+            echo = measure_nmt(cfg, ECHO)
+            points[hidden] = (base.total_bytes, echo.total_bytes)
+        return points
+
+    points = run_once(benchmark, compute)
+    capacity = 12 * 2**30
+    rows = [
+        (h, round(gib(b), 2), round(gib(e), 2), round(b / e, 2),
+         "-" if b <= capacity else "Default OOM")
+        for h, (b, e) in points.items()
+    ]
+    save_result(
+        "fig16b_hidden",
+        format_table(
+            ["hidden", "Default GiB", "Echo GiB", "reduction", "note"],
+            rows,
+            "Figure 16b: memory vs hidden dimension (B=128, T=100)",
+        ),
+    )
+    for hidden, (b, e) in points.items():
+        assert b / e > 1.5, f"reduction collapsed at H={hidden}"
+    # At the top of the sweep, Echo fits where Default does not (the
+    # paper's dashed out-of-memory region).
+    b_top, e_top = points[HIDDEN_SWEEP[-1]]
+    assert b_top > capacity
+    assert e_top < capacity
+
+
+@pytest.mark.parametrize("hidden", HIDDEN_SWEEP)
+def test_fig16_reduction_each_hidden(benchmark, hidden):
+    """Per-point variant so each hidden size appears in the bench table."""
+    cfg = replace(ZHU, hidden_size=hidden, embed_size=hidden)
+
+    def compute():
+        return (
+            measure_nmt(cfg, DEFAULT).total_bytes,
+            measure_nmt(cfg, ECHO).total_bytes,
+        )
+
+    base, echo = run_once(benchmark, compute)
+    assert base / echo > 1.5

@@ -1,0 +1,47 @@
+"""Figure 17: the Groundhog and Best settings of Hieber et al. [23].
+
+Two hyperparameter sets that differ from the primary one in every knob
+(depth, width, embedding, batch); the paper's point is that Echo "is
+general enough to reduce memory footprints in multiple hyperparameter
+settings without losing any performance".
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    BEST,
+    DEFAULT,
+    ECHO,
+    GROUNDHOG,
+    format_table,
+    gib,
+    measure_nmt,
+)
+
+
+@pytest.mark.parametrize(
+    "name,config", [("Groundhog", GROUNDHOG), ("Best", BEST)]
+)
+def test_fig17_setting(benchmark, save_result, name, config):
+    def compute():
+        return measure_nmt(config, DEFAULT), measure_nmt(config, ECHO)
+
+    base, echo = run_once(benchmark, compute)
+    rows = [
+        (m.label, round(gib(m.total_bytes), 2), round(m.throughput, 1))
+        for m in (base, echo)
+    ]
+    save_result(
+        f"fig17_{name.lower()}",
+        format_table(
+            ["configuration", "GiB", "samples/s"], rows,
+            f"Figure 17: {name} setting "
+            f"(H={config.hidden_size}, L={config.encoder_layers}+"
+            f"{config.decoder_layers}, B={config.batch_size})",
+        )
+        + f"\nreduction {base.total_bytes / echo.total_bytes:.2f}x, "
+        f"throughput {echo.throughput / base.throughput:.3f}x",
+    )
+    assert base.total_bytes / echo.total_bytes > 1.5
+    assert echo.throughput >= 0.97 * base.throughput

@@ -1,0 +1,73 @@
+"""Figure 18: GPU hardware sensitivity (Titan V / RTX 2080 Ti).
+
+Newer GPUs have more compute relative to launch overhead, so they benefit
+*more* from the larger batch size Echo unlocks: the paper's relative
+throughput improvement grows from 1.3x (Titan Xp) to ~1.5x / 1.4x.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import (
+    DEFAULT,
+    ECHO,
+    ZHU,
+    format_table,
+    gib,
+    measure_nmt,
+)
+from repro.gpumodel import ALL_DEVICES, RTX_2080_TI, TITAN_V, TITAN_XP
+
+
+def _gain(device_spec):
+    base = measure_nmt(ZHU, DEFAULT, device_spec=device_spec)
+    echo = measure_nmt(
+        ZHU.with_batch_size(ZHU.batch_size * 2), ECHO, device_spec=device_spec
+    )
+    return base, echo
+
+
+def test_fig18_all_devices(benchmark, save_result):
+    def compute():
+        return {spec.name: _gain(spec) for spec in ALL_DEVICES}
+
+    points = run_once(benchmark, compute)
+    rows = []
+    for name, (base, echo) in points.items():
+        rows.append(
+            (name, round(gib(base.total_bytes), 2),
+             round(gib(echo.total_bytes), 2),
+             round(base.throughput, 1), round(echo.throughput, 1),
+             round(echo.throughput / base.throughput, 2))
+        )
+    save_result(
+        "fig18_hardware",
+        format_table(
+            ["device", "Default GiB", "Echo GiB", "Default s/s",
+             "Echo(2B) s/s", "speedup"],
+            rows,
+            "Figure 18: Default(B=128) vs Echo(B=256) across GPUs",
+        ),
+    )
+    # Echo helps on every generation.
+    for name, (base, echo) in points.items():
+        assert echo.throughput / base.throughput > 1.1, name
+        assert base.total_bytes / measure_nmt(
+            ZHU, ECHO, device_spec=[s for s in ALL_DEVICES
+                                    if s.name == name][0]
+        ).total_bytes > 2.0
+
+    # Newer GPUs benefit at least as much as Pascal (paper: 1.3 -> 1.5x).
+    xp = points["Titan Xp"]
+    for newer in (TITAN_V, RTX_2080_TI):
+        new = points[newer.name]
+        assert (new[1].throughput / new[0].throughput
+                >= 0.97 * xp[1].throughput / xp[0].throughput)
+
+
+@pytest.mark.parametrize("spec", [TITAN_XP, TITAN_V, RTX_2080_TI],
+                         ids=lambda s: s.name)
+def test_fig18_per_device(benchmark, spec):
+    base, echo = run_once(benchmark, lambda: _gain(spec))
+    assert echo.fits_in_memory
+    assert echo.throughput > base.throughput

@@ -1,0 +1,48 @@
+"""Figure 19: power and energy.
+
+The paper's finding: board power is nearly flat across configurations
+(training keeps the GPU boosted), so energy-to-converge is proportional to
+training time — making the 1.5x time win a 1.5x energy win.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import DEFAULT, ECHO, ZHU, format_table, measure_nmt
+
+#: samples to a fixed validation score (the constant cancels in ratios)
+_SAMPLES_TO_CONVERGE = 1_000_000
+
+
+def test_fig19_power_energy(benchmark, save_result):
+    def compute():
+        base = measure_nmt(ZHU, DEFAULT)
+        echo = measure_nmt(ZHU.with_batch_size(ZHU.batch_size * 2), ECHO)
+        return base, echo
+
+    base, echo = run_once(benchmark, compute)
+
+    rows = []
+    energies = {}
+    for m in (base, echo):
+        train_seconds = _SAMPLES_TO_CONVERGE / m.throughput
+        energy_kj = m.power_watts * train_seconds / 1e3
+        energies[m.label] = energy_kj
+        rows.append(
+            (m.label, round(m.power_watts, 1), round(train_seconds, 0),
+             round(energy_kj, 0))
+        )
+    save_result(
+        "fig19_power_energy",
+        format_table(
+            ["configuration", "power (W)", "train time (s)", "energy (kJ)"],
+            rows,
+            "Figure 19: power and energy to process a fixed sample budget",
+        ),
+    )
+
+    # Power is nearly flat across configurations (paper: negligible diff).
+    assert abs(base.power_watts - echo.power_watts) / base.power_watts < 0.10
+    # Energy improves roughly with throughput (paper: 1.5x more efficient).
+    energy_ratio = energies[base.label] / energies[echo.label]
+    throughput_ratio = echo.throughput / base.throughput
+    assert energy_ratio > 1.1
+    assert abs(energy_ratio - throughput_ratio) / throughput_ratio < 0.15

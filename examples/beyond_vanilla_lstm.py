@@ -1,0 +1,78 @@
+"""Generality: peephole LSTM, GRU, and hand-annotated recomputation.
+
+The paper argues its optimizations are not vanilla-LSTM tricks:
+* the data layout optimization applies to any cell with the gate-GEMM
+  structure (peephole LSTM, GRU) — cells cuDNN's fused path cannot run;
+* the automatic Echo pass matches what the authors originally achieved by
+  hand-annotating the attention operator.
+
+Run:  python examples/beyond_vanilla_lstm.py
+"""
+
+from dataclasses import replace
+
+from repro.echo import apply_manual_recompute, optimize
+from repro.experiments import format_table
+from repro.gpumodel import DeviceModel
+from repro.models import NmtConfig, WordLmConfig, build_nmt, build_word_lm
+from repro.nn import Backend
+from repro.profiler import profile_runtime
+from repro.runtime import TrainingExecutor
+
+
+def _lm_sgemm_ms(cell: str, backend: Backend) -> float:
+    cfg = WordLmConfig(
+        vocab_size=2000, embed_size=512, hidden_size=512, num_layers=1,
+        seq_len=25, batch_size=32, cell=cell, backend=backend,
+    )
+    model = build_word_lm(cfg)
+    executor = TrainingExecutor(model.graph, device=DeviceModel())
+    report = profile_runtime(executor.simulate_cost().timings)
+    return report.by_kernel.get("sgemm (fully-connected)", 0.0) * 1e3
+
+
+def main() -> None:
+    # -- layout optimization across cell types ------------------------------
+    rows = []
+    for cell in ("lstm", "lstm_peephole", "gru"):
+        default = _lm_sgemm_ms(cell, Backend.DEFAULT)
+        echo = _lm_sgemm_ms(cell, Backend.ECHO)
+        rows.append((cell, round(default, 2), round(echo, 2),
+                     round(default / echo, 2)))
+    print(format_table(
+        ["cell type", "row-major GEMM ms", "col-major GEMM ms", "speedup"],
+        rows,
+        "data layout optimization across recurrent cell types "
+        "(word LM, B=32, H=512)",
+    ))
+
+    # -- manual annotation vs the automatic pass ----------------------------
+    cfg = NmtConfig(
+        src_vocab_size=2000, tgt_vocab_size=2000, embed_size=128,
+        hidden_size=128, encoder_layers=1, decoder_layers=1,
+        src_len=20, tgt_len=20, batch_size=32, backend=Backend.CUDNN,
+    )
+    manual_model = build_nmt(replace(cfg, manual_recompute_attention=True))
+    manual = apply_manual_recompute(manual_model.graph)
+    auto_model = build_nmt(cfg)
+    auto = optimize(auto_model.graph)
+
+    print()
+    print(format_table(
+        ["approach", "peak MiB", "reduction", "regions"],
+        [
+            ("hand annotation (EcoRNN)",
+             round(manual.optimized_peak_bytes / 2**20, 1),
+             round(manual.footprint_reduction, 2), len(manual.accepted)),
+            ("automatic pass (Echo)",
+             round(auto.optimized_peak_bytes / 2**20, 1),
+             round(auto.footprint_reduction, 2), len(auto.accepted)),
+        ],
+        "manual vs automatic recomputation on NMT attention",
+    ))
+    print("\nThe compiler finds the hand-annotated regions on its own —")
+    print("plus the LSTM state chains nobody bothered to annotate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Train an attention NMT model end to end and watch BLEU climb.
+
+This is the paper's primary workload in miniature: a bidirectional-encoder
+/ attention-decoder model trained with teacher forcing on a synthetic
+reversal-translation task, validated with greedy decoding and corpus BLEU.
+The Echo pass runs on the training graph first, so the whole run uses the
+reduced-footprint schedule — and learns exactly what the baseline would.
+
+Run:  python examples/nmt_translation.py [--steps 400]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import TranslationTask
+from repro.echo import optimize
+from repro.models import NmtConfig, build_nmt
+from repro.nn import Backend
+from repro.train import Adam, GreedyDecoder, Trainer, corpus_bleu
+
+
+def main(steps: int) -> None:
+    config = NmtConfig(
+        src_vocab_size=120,
+        tgt_vocab_size=120,
+        embed_size=48,
+        hidden_size=48,
+        encoder_layers=1,
+        decoder_layers=1,
+        src_len=10,
+        tgt_len=10,
+        batch_size=16,
+        backend=Backend.CUDNN,
+    )
+    task = TranslationTask(
+        config.src_vocab_size, config.tgt_vocab_size,
+        config.src_len, config.tgt_len,
+    )
+
+    model = build_nmt(config)
+    report = optimize(model.graph)
+    print(report.format())
+
+    params = model.store.initialize()
+    trainer = Trainer(model.graph, params, Adam(3e-3))
+    decoder = GreedyDecoder(config, model.store)
+
+    validation = task.sample_batch(config.batch_size,
+                                   np.random.default_rng(999))
+    references = task.references(validation["src_tokens"])
+
+    rng = np.random.default_rng(0)
+    print(f"\ntraining for {steps} steps "
+          f"(simulated Titan Xp iteration: "
+          f"{trainer.iteration_seconds * 1e3:.2f} ms, "
+          f"{trainer.throughput():.0f} samples/s)\n")
+    for step in range(1, steps + 1):
+        record = trainer.step(task.sample_batch(config.batch_size, rng))
+        if step % 50 == 0:
+            hypotheses = decoder.translate(validation["src_tokens"], params)
+            bleu = corpus_bleu(hypotheses, references)
+            print(f"step {step:4d}  perplexity {record.perplexity:8.2f}  "
+                  f"validation BLEU {bleu:5.1f}")
+
+    print("\nsample translations (greedy decode):")
+    hypotheses = decoder.translate(validation["src_tokens"], params)
+    for i in range(3):
+        print(f"  ref: {references[i]}")
+        print(f"  hyp: {hypotheses[i]}")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=400)
+    main(parser.parse_args().steps)

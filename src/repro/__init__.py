@@ -1,0 +1,71 @@
+"""Echo: compiler-based GPU memory footprint reduction for LSTM RNN
+training — a full-system reproduction (see DESIGN.md).
+
+Public API highlights:
+
+>>> import repro
+>>> model = repro.build_nmt(repro.NmtConfig())
+>>> report = repro.optimize(model.graph)   # the Echo pass
+>>> executor = repro.TrainingExecutor(model.graph)
+"""
+
+from repro.autodiff import TrainingGraph, compile_training
+from repro.echo import EchoConfig, EchoPass, EchoReport, optimize
+from repro.gpumodel import (
+    ALL_DEVICES,
+    RTX_2080_TI,
+    TITAN_V,
+    TITAN_XP,
+    DeviceModel,
+    DeviceSpec,
+)
+from repro.layout import Layout
+from repro.models import (
+    NmtConfig,
+    NmtModel,
+    WordLmConfig,
+    WordLmModel,
+    build_nmt,
+    build_word_lm,
+)
+from repro.nn import Backend, ParamStore
+from repro.profiler import profile_memory, profile_runtime
+from repro.runtime import GraphExecutor, TrainingExecutor
+from repro.train import SGD, Adam, GreedyDecoder, Trainer, corpus_bleu, perplexity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_training",
+    "TrainingGraph",
+    "EchoPass",
+    "EchoConfig",
+    "EchoReport",
+    "optimize",
+    "DeviceModel",
+    "DeviceSpec",
+    "TITAN_XP",
+    "TITAN_V",
+    "RTX_2080_TI",
+    "ALL_DEVICES",
+    "Layout",
+    "Backend",
+    "ParamStore",
+    "NmtConfig",
+    "NmtModel",
+    "build_nmt",
+    "WordLmConfig",
+    "WordLmModel",
+    "build_word_lm",
+    "profile_memory",
+    "profile_runtime",
+    "GraphExecutor",
+    "TrainingExecutor",
+    "Trainer",
+    "Adam",
+    "SGD",
+    "GreedyDecoder",
+    "corpus_bleu",
+    "perplexity",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Reverse-mode autodiff producing explicit backward graphs (DESIGN.md S3)."""
+
+from repro.autodiff.grad import GradientError, build_gradients
+from repro.autodiff.training import TrainingGraph, compile_training
+
+__all__ = ["build_gradients", "GradientError", "TrainingGraph", "compile_training"]

@@ -1,0 +1,72 @@
+"""Compiled training graphs: loss + parameter gradients as one dataflow graph.
+
+A :class:`TrainingGraph` is the unit the rest of the system operates on —
+the scheduler orders it, the allocator plans it, the profilers break it
+down, and the Echo pass rewrites it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autodiff.grad import GradientError, build_gradients
+from repro.graph import Node, Tensor, topo_order
+
+
+@dataclass
+class TrainingGraph:
+    """A forward+backward graph for one training iteration."""
+
+    loss: Tensor
+    placeholders: dict[str, Tensor]
+    params: dict[str, Tensor]
+    grads: dict[str, Tensor]
+    #: additional tensors to keep alive and return (e.g. decoder outputs)
+    extra_outputs: dict[str, Tensor] = field(default_factory=dict)
+
+    @property
+    def outputs(self) -> list[Tensor]:
+        """Every tensor that must survive to the end of the iteration."""
+        return [self.loss, *self.grads.values(), *self.extra_outputs.values()]
+
+    def nodes(self) -> list[Node]:
+        """All nodes of the graph in a valid topological order."""
+        return topo_order(self.outputs)
+
+    def clone_for_rewrite(self) -> "TrainingGraph":
+        """Shallow copy; Echo rewrites mutate node priorities/inputs of
+        backward nodes, so benchmarks wanting a pristine graph rebuild it."""
+        return TrainingGraph(
+            loss=self.loss,
+            placeholders=dict(self.placeholders),
+            params=dict(self.params),
+            grads=dict(self.grads),
+            extra_outputs=dict(self.extra_outputs),
+        )
+
+
+def compile_training(
+    loss: Tensor,
+    params: dict[str, Tensor],
+    placeholders: dict[str, Tensor],
+    extra_outputs: dict[str, Tensor] | None = None,
+) -> TrainingGraph:
+    """Differentiate ``loss`` w.r.t. every parameter and package the result.
+
+    Parameters the loss does not depend on raise: silently-frozen weights
+    are a modeling bug, not a configuration.
+    """
+    grad_map = build_gradients(loss, list(params.values()))
+    grads: dict[str, Tensor] = {}
+    for name, var in params.items():
+        grad = grad_map[var.key]
+        if grad is None:
+            raise GradientError(f"parameter {name!r} does not affect the loss")
+        grads[name] = grad
+    return TrainingGraph(
+        loss=loss,
+        placeholders=dict(placeholders),
+        params=dict(params),
+        grads=grads,
+        extra_outputs=dict(extra_outputs or {}),
+    )

@@ -1,0 +1,19 @@
+"""Backend registry and transparent autotuning (DESIGN.md S12)."""
+
+from repro.backends.microbench import (
+    AutotuneReport,
+    LstmBenchResult,
+    autotune_backend,
+    benchmark_lstm,
+    pure_lstm_graph,
+)
+from repro.nn.rnn import Backend
+
+__all__ = [
+    "Backend",
+    "autotune_backend",
+    "AutotuneReport",
+    "benchmark_lstm",
+    "LstmBenchResult",
+    "pure_lstm_graph",
+]

@@ -1,0 +1,29 @@
+"""Synthetic datasets and corpus metadata (DESIGN.md S11)."""
+
+from repro.data.bucketing import (
+    BucketedTranslationBatches,
+    BucketSpec,
+    bucket_for,
+    default_buckets,
+)
+from repro.data.speech import SpeechTask, exact_match_rate
+from repro.data.corpora import IWSLT15_EN_VI, PTB, WIKITEXT2, CorpusSpec, TranslationSpec
+from repro.data.synthetic import (
+    BOS,
+    EOS,
+    PAD,
+    TranslationTask,
+    batches,
+    lm_batches,
+    markov_corpus,
+    markov_transitions,
+)
+
+__all__ = [
+    "PAD", "BOS", "EOS",
+    "markov_corpus", "markov_transitions", "lm_batches",
+    "TranslationTask", "batches",
+    "BucketSpec", "default_buckets", "bucket_for", "BucketedTranslationBatches",
+    "SpeechTask", "exact_match_rate",
+    "CorpusSpec", "TranslationSpec", "PTB", "WIKITEXT2", "IWSLT15_EN_VI",
+]

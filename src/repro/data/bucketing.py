@@ -1,0 +1,92 @@
+"""Length bucketing for sequence training (MXNet BucketingModule style).
+
+Real NMT training does not pad every sentence to the corpus maximum: it
+groups sentences into length *buckets* and compiles one executor per
+bucket shape. Footprint is set by the largest bucket; throughput improves
+because short sentences stop paying for long-bucket padding. This module
+provides the data side; :class:`repro.train.BucketedTrainer` owns the
+per-bucket graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.synthetic import TranslationTask
+
+
+@dataclass(frozen=True)
+class BucketSpec:
+    """One (source length, target length) bucket."""
+
+    src_len: int
+    tgt_len: int
+
+    def __post_init__(self) -> None:
+        if self.src_len < 2 or self.tgt_len < self.src_len:
+            raise ValueError(f"degenerate bucket {self}")
+
+
+def default_buckets(max_len: int, step: int = 10) -> tuple[BucketSpec, ...]:
+    """Evenly spaced buckets up to ``max_len`` (Sockeye's default scheme)."""
+    lengths = list(range(step, max_len + 1, step))
+    if not lengths or lengths[-1] != max_len:
+        lengths.append(max_len)
+    return tuple(BucketSpec(n, n) for n in lengths)
+
+
+def bucket_for(length: int, buckets: tuple[BucketSpec, ...]) -> BucketSpec:
+    """Smallest bucket that fits a source sentence of ``length``."""
+    for bucket in buckets:
+        if length <= bucket.src_len:
+            return bucket
+    raise ValueError(
+        f"sentence length {length} exceeds the largest bucket "
+        f"({buckets[-1].src_len})"
+    )
+
+
+class BucketedTranslationBatches:
+    """Generates fixed-batch-size batches, each padded to one bucket.
+
+    Sentence lengths are drawn between ``min_len`` and the largest
+    bucket's source length; each batch is homogeneous in bucket (as real
+    bucketing iterators arrange), so one graph per bucket suffices.
+    """
+
+    def __init__(
+        self,
+        task: TranslationTask,
+        buckets: tuple[BucketSpec, ...],
+        batch_size: int,
+        seed: int = 0,
+    ) -> None:
+        if task.src_len < buckets[-1].src_len:
+            raise ValueError(
+                "task.src_len must cover the largest bucket "
+                f"({task.src_len} < {buckets[-1].src_len})"
+            )
+        self.task = task
+        self.buckets = buckets
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> tuple[BucketSpec, dict[str, np.ndarray]]:
+        """One batch: pick a bucket, generate sentences that fit it."""
+        bucket = self.buckets[int(self._rng.integers(len(self.buckets)))]
+        sub_task = TranslationTask(
+            src_vocab_size=self.task.src_vocab_size,
+            tgt_vocab_size=self.task.tgt_vocab_size,
+            src_len=bucket.src_len,
+            tgt_len=bucket.tgt_len,
+            seed=self.task.seed,
+        )
+        feeds = sub_task.sample_batch(self.batch_size, self._rng)
+        return bucket, feeds
+
+    def __iter__(self) -> Iterator[tuple[BucketSpec, dict[str, np.ndarray]]]:
+        while True:
+            yield self.sample()

@@ -1,0 +1,58 @@
+"""Metadata of the paper's datasets, with synthetic stand-ins.
+
+The real corpora are unavailable offline; experiments use
+:mod:`repro.data.synthetic` generators sized by these specs (vocabulary
+sizes set the output-projection GEMM dimensions, which dominate both
+runtime and the weights' footprint, so matching them matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic import markov_corpus
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A language-modeling corpus."""
+
+    name: str
+    vocab_size: int
+    train_tokens: int
+
+    def synthetic(self, num_tokens: int | None = None, seed: int = 0
+                  ) -> np.ndarray:
+        """A Markov stand-in stream with this corpus's vocabulary."""
+        n = num_tokens or min(self.train_tokens, 200_000)
+        return markov_corpus(self.vocab_size, n, seed=seed)
+
+
+@dataclass(frozen=True)
+class TranslationSpec:
+    """A machine-translation corpus."""
+
+    name: str
+    src_vocab_size: int
+    tgt_vocab_size: int
+    sentences: int
+    mean_src_len: int
+
+
+#: Penn TreeBank word-level LM (Zaremba et al. setup)
+PTB = CorpusSpec(name="PTB", vocab_size=10000, train_tokens=929_589)
+
+#: Wikitext-2 word-level LM (Merity et al.)
+WIKITEXT2 = CorpusSpec(name="Wikitext-2", vocab_size=33278,
+                       train_tokens=2_088_628)
+
+#: IWSLT'15 English-Vietnamese (the paper's Sockeye training set)
+IWSLT15_EN_VI = TranslationSpec(
+    name="IWSLT15 en-vi",
+    src_vocab_size=17191,
+    tgt_vocab_size=7709,
+    sentences=133_317,
+    mean_src_len=20,
+)

@@ -1,0 +1,151 @@
+"""Synthetic corpora standing in for PTB / Wikitext-2 / IWSLT15 en-vi.
+
+Footprint and throughput experiments depend only on tensor shapes, but the
+convergence experiments (training curves, BLEU-vs-wall-clock) need tasks a
+model can genuinely learn. Two generators provide that:
+
+* :func:`markov_corpus` — token streams from a sparse random first-order
+  Markov chain: low conditional entropy, so an LSTM LM's perplexity drops
+  steeply below the unigram floor as it trains.
+* :class:`TranslationTask` — source sentences from a Markov chain; targets
+  are a deterministic per-token relabeling of the *reversed* source. The
+  reversal makes attention genuinely useful (alignments are anti-diagonal),
+  and the determinism means BLEU approaches 100 as the model converges —
+  preserving the paper's "larger batch reaches the target score faster in
+  wall clock" comparison.
+
+Token id conventions: 0 = PAD, 1 = BOS, 2 = EOS; real tokens start at 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+PAD, BOS, EOS = 0, 1, 2
+NUM_SPECIAL = 3
+
+
+def markov_transitions(
+    vocab_size: int, branching: int = 4, seed: int = 0
+) -> np.ndarray:
+    """Row-stochastic transition matrix with ``branching`` likely successors
+    per token plus uniform smoothing (entropy ~ log2(branching) bits)."""
+    if vocab_size <= NUM_SPECIAL + branching:
+        raise ValueError(f"vocab_size {vocab_size} too small")
+    rng = np.random.default_rng(seed)
+    real = vocab_size - NUM_SPECIAL
+    probs = np.full((real, real), 0.02 / real, np.float64)
+    for row in range(real):
+        successors = rng.choice(real, size=branching, replace=False)
+        probs[row, successors] += 0.98 / branching
+    probs /= probs.sum(axis=1, keepdims=True)
+    return probs
+
+
+def markov_corpus(
+    vocab_size: int, num_tokens: int, seed: int = 0, branching: int = 4
+) -> np.ndarray:
+    """Sample a token stream (ids in [NUM_SPECIAL, vocab_size))."""
+    rng = np.random.default_rng(seed + 1)
+    probs = markov_transitions(vocab_size, branching, seed)
+    real = vocab_size - NUM_SPECIAL
+    tokens = np.empty(num_tokens, np.int64)
+    state = int(rng.integers(real))
+    cumulative = np.cumsum(probs, axis=1)
+    draws = rng.random(num_tokens)
+    for i in range(num_tokens):
+        state = int(np.searchsorted(cumulative[state], draws[i]))
+        tokens[i] = state + NUM_SPECIAL
+    return tokens
+
+
+def lm_batches(
+    corpus: np.ndarray, batch_size: int, seq_len: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Contiguous language-modeling batches: tokens [T x B], labels = next
+    token. The standard truncated-BPTT data layout."""
+    usable = (len(corpus) - 1) // batch_size * batch_size
+    if usable < batch_size * seq_len:
+        raise ValueError("corpus too small for one batch")
+    inputs = corpus[:usable].reshape(batch_size, -1).T  # [steps x B]
+    labels = corpus[1:usable + 1].reshape(batch_size, -1).T
+    steps = inputs.shape[0] // seq_len
+    for s in range(steps):
+        sl = slice(s * seq_len, (s + 1) * seq_len)
+        yield {"tokens": inputs[sl], "labels": labels[sl]}
+
+
+@dataclass(frozen=True)
+class TranslationTask:
+    """Deterministic toy translation: target = relabel(reverse(source))."""
+
+    src_vocab_size: int
+    tgt_vocab_size: int
+    src_len: int
+    tgt_len: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tgt_len < self.src_len:
+            raise ValueError("tgt_len must cover reversed source + EOS")
+
+    def _relabel_table(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed + 7)
+        real_src = self.src_vocab_size - NUM_SPECIAL
+        real_tgt = self.tgt_vocab_size - NUM_SPECIAL
+        return rng.integers(0, real_tgt, real_src) + NUM_SPECIAL
+
+    def sample_batch(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Training feeds: src_tokens, tgt_tokens (BOS + gold prefix),
+        tgt_labels (gold + EOS, PAD positions labeled -1)."""
+        table = self._relabel_table()
+        probs = markov_transitions(self.src_vocab_size, seed=self.seed)
+        cumulative = np.cumsum(probs, axis=1)
+        real_src = self.src_vocab_size - NUM_SPECIAL
+
+        src = np.full((self.src_len, batch_size), PAD, np.int64)
+        tgt_in = np.full((self.tgt_len, batch_size), PAD, np.int64)
+        labels = np.full((self.tgt_len, batch_size), -1, np.int64)
+
+        min_len = max(3, self.src_len // 2)
+        for b in range(batch_size):
+            length = int(rng.integers(min_len, self.src_len + 1))
+            state = int(rng.integers(real_src))
+            sentence = np.empty(length, np.int64)
+            for i in range(length):
+                state = int(
+                    np.searchsorted(cumulative[state], rng.random())
+                )
+                sentence[i] = state + NUM_SPECIAL
+            target = table[sentence[::-1] - NUM_SPECIAL]
+
+            src[:length, b] = sentence
+            tgt_in[0, b] = BOS
+            tgt_in[1:length + 1, b] = target[: self.tgt_len - 1]
+            labels[:length, b] = target
+            if length < self.tgt_len:
+                labels[length, b] = EOS
+        return {"src_tokens": src, "tgt_tokens": tgt_in, "tgt_labels": labels}
+
+    def references(self, src: np.ndarray) -> list[list[int]]:
+        """Gold target sentences for BLEU, from a [T_src x B] batch."""
+        table = self._relabel_table()
+        refs = []
+        for b in range(src.shape[1]):
+            sentence = src[:, b]
+            sentence = sentence[sentence != PAD]
+            refs.append([int(t) for t in table[sentence[::-1] - NUM_SPECIAL]])
+        return refs
+
+
+def batches(
+    task: TranslationTask, batch_size: int, num_batches: int, seed: int = 0
+) -> Iterator[dict[str, np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    for _ in range(num_batches):
+        yield task.sample_batch(batch_size, rng)

@@ -1,0 +1,234 @@
+"""The Echo pass driver: mine -> select -> rewrite -> verify.
+
+Selection is a greedy knapsack over candidate regions ordered by
+bytes-saved per recompute-second, under the configured overhead budget.
+After rewriting, the pass re-plans the memory timeline and rolls back the
+weakest candidates if the *measured* peak failed to improve — recomputation
+must never increase the footprint (the paper's safety property; naive
+checkpointing can violate it through stash-set growth or eager workspace
+spikes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autodiff.training import TrainingGraph
+from repro.echo.analysis import (
+    Candidate,
+    estimate_iteration_cost,
+    mine_candidates,
+)
+from repro.echo.config import EchoConfig
+from repro.echo.rewrite import AppliedCandidate, apply_candidate
+from repro.gpumodel import DeviceModel
+from repro.runtime.memory import MemoryPlan, plan_memory
+from repro.runtime.scheduler import schedule
+
+
+@dataclass
+class EchoReport:
+    """What the pass did and what it bought."""
+
+    baseline_peak_bytes: int
+    optimized_peak_bytes: int
+    candidates_found: int
+    accepted: list[Candidate] = field(default_factory=list)
+    rejected_low_benefit: int = 0
+    rejected_budget: int = 0
+    rolled_back: int = 0
+    recompute_seconds: float = 0.0
+    iteration_seconds: float = 0.0
+    baseline_plan: MemoryPlan | None = None
+    optimized_plan: MemoryPlan | None = None
+
+    @property
+    def footprint_reduction(self) -> float:
+        return self.baseline_peak_bytes / max(self.optimized_peak_bytes, 1)
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.recompute_seconds / max(self.iteration_seconds, 1e-30)
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.baseline_peak_bytes - self.optimized_peak_bytes
+
+    def format(self) -> str:
+        return (
+            f"Echo: {self.candidates_found} candidates, "
+            f"{len(self.accepted)} accepted "
+            f"({self.rejected_low_benefit} low-benefit, "
+            f"{self.rejected_budget} over-budget, "
+            f"{self.rolled_back} rolled back); "
+            f"peak {self.baseline_peak_bytes / 2**20:.1f} -> "
+            f"{self.optimized_peak_bytes / 2**20:.1f} MiB "
+            f"({self.footprint_reduction:.2f}x), recompute overhead "
+            f"{100 * self.overhead_fraction:.2f}% of iteration"
+        )
+
+
+class EchoPass:
+    """Automatic selective recomputation over a training graph.
+
+    Mutates the graph in place (backward consumers are re-pointed at
+    mirrored recompute nodes); build a fresh graph to get the baseline
+    back.
+    """
+
+    def __init__(
+        self,
+        config: EchoConfig | None = None,
+        device: DeviceModel | None = None,
+    ) -> None:
+        self.config = config or EchoConfig()
+        self.device = device or DeviceModel()
+
+    def run(self, graph: TrainingGraph) -> EchoReport:
+        cfg = self.config
+        outputs = graph.outputs
+        output_keys = {t.key for t in outputs}
+
+        order = schedule(outputs)
+        baseline_plan = plan_memory(order, outputs)
+        iteration = estimate_iteration_cost(order, self.device)
+        budget = cfg.overhead_budget_fraction * iteration.seconds
+
+        candidates = mine_candidates(
+            order,
+            output_keys,
+            cfg.allow_gemm_recompute,
+            self.device,
+            fanout_limit=cfg.checkpoint_fanout_limit,
+        )
+        report = EchoReport(
+            baseline_peak_bytes=baseline_plan.peak_bytes,
+            optimized_peak_bytes=baseline_plan.peak_bytes,
+            candidates_found=len(candidates),
+            iteration_seconds=iteration.seconds,
+            baseline_plan=baseline_plan,
+        )
+
+        viable = sorted(
+            candidates,
+            key=lambda c: c.benefit_bytes / max(c.recompute_seconds, 1e-9),
+            reverse=True,
+        )
+
+        # Checkpoints shared by several candidates (e.g. the attention key
+        # projection read by every decoder step) are paid for once: after a
+        # candidate is accepted, its new stashes are free for the rest.
+        # Cost accounting is per-stream: kernels and launches overlap, so a
+        # candidate's cost is the *marginal* increase in
+        # max(kernel stream, API stream) — recomputation hiding in the
+        # non-binding stream's slack is free, the paper's launch-bound case.
+        # The full and free cones of one component are mutually exclusive:
+        # when a component comes up, apply its highest-benefit variant that
+        # fits the budget (a free variant must not shadow a bigger full
+        # elimination just because its byte/second ratio looks better).
+        promised: set[tuple[int, int]] = set()
+        applied: list[AppliedCandidate] = []
+        decided_components: set[int] = set()
+        by_component: dict[int, list[Candidate]] = {}
+        for cand in viable:
+            by_component.setdefault(cand.component_id, []).append(cand)
+
+        # A border shared by many candidates (the attention key projection
+        # read by every decoder step) is stashed once but enables them
+        # all, so its cost is amortized over its users — the paper's
+        # "identical across all time steps, average storage only O(B x H)"
+        # argument. Once some candidate promises it, it is free.
+        border_users: dict[tuple[int, int], int] = {}
+        for c in viable:
+            for t in c.new_stashes:
+                border_users[t.key] = border_users.get(t.key, 0) + 1
+
+        def amortized_benefit(c: Candidate) -> float:
+            cost = sum(
+                t.nbytes / border_users[t.key]
+                for t in c.new_stashes
+                if t.key not in promised
+            )
+            return c.eliminated_bytes - cost
+
+        extra_kernel = extra_api = 0.0
+        for cand in viable:
+            if cand.component_id in decided_components:
+                continue
+            variants = sorted(
+                by_component[cand.component_id],
+                key=amortized_benefit,
+                reverse=True,
+            )
+            chosen = None
+            for variant in variants:
+                benefit = amortized_benefit(variant)
+                if benefit < cfg.min_benefit_bytes:
+                    continue
+                marginal = iteration.marginal(
+                    extra_kernel + variant.kernel_seconds,
+                    extra_api + variant.api_seconds,
+                )
+                if marginal > budget:
+                    continue
+                chosen = variant
+                break
+            decided_components.add(cand.component_id)
+            if chosen is None:
+                # Count the rejection reason of the best variant.
+                if amortized_benefit(variants[0]) < cfg.min_benefit_bytes:
+                    report.rejected_low_benefit += 1
+                else:
+                    report.rejected_budget += 1
+                continue
+            applied.append(
+                apply_candidate(
+                    chosen, order, output_keys, cfg.workspace_sharing
+                )
+            )
+            extra_kernel += chosen.kernel_seconds
+            extra_api += chosen.api_seconds
+            promised.update(t.key for t in chosen.new_stashes)
+            report.accepted.append(chosen)
+        spent = iteration.marginal(extra_kernel, extra_api)
+
+        if not applied:
+            report.optimized_plan = baseline_plan
+            return report
+
+        new_order = schedule(outputs)
+        new_plan = plan_memory(new_order, outputs)
+
+        if cfg.verify_with_replan:
+            # Footprint safety: drop weakest candidates until the measured
+            # peak actually improves (or nothing is left).
+            while new_plan.peak_bytes >= baseline_plan.peak_bytes and applied:
+                weakest = min(
+                    range(len(applied)),
+                    key=lambda i: applied[i].candidate.benefit_bytes,
+                )
+                victim = applied.pop(weakest)
+                victim.rollback()
+                report.accepted.remove(victim.candidate)
+                report.rolled_back += 1
+                extra_kernel -= victim.candidate.kernel_seconds
+                extra_api -= victim.candidate.api_seconds
+                spent = iteration.marginal(extra_kernel, extra_api)
+                new_order = schedule(outputs)
+                new_plan = plan_memory(new_order, outputs)
+            if not applied:
+                new_plan = plan_memory(schedule(outputs), outputs)
+
+        report.recompute_seconds = spent
+        report.optimized_peak_bytes = new_plan.peak_bytes
+        report.optimized_plan = new_plan
+        return report
+
+
+def optimize(
+    graph: TrainingGraph,
+    config: EchoConfig | None = None,
+    device: DeviceModel | None = None,
+) -> EchoReport:
+    """One-call entry point: run the Echo pass on a training graph."""
+    return EchoPass(config, device).run(graph)

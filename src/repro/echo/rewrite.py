@@ -1,0 +1,157 @@
+"""Graph rewrite applying recomputation: node mirroring and re-pointing.
+
+For an accepted candidate region, every needed node is cloned into a
+``Stage.RECOMPUTE`` mirror and all backward consumers of the region's
+outputs are re-pointed at the mirrors. The original forward outputs then
+die at their last *forward* use, so the planner's liveness shows the
+reduced footprint; the mirrors' outputs live only from recomputation to
+their backward consumer, and are accounted as workspace.
+
+Scheduling: each mirror's priority is lowered to just below its first
+backward consumer (lazy recomputation), which is what lets the recompute
+regions of successive timesteps share one workspace interval. With
+``workspace_sharing=False`` every mirror is instead hoisted to the start of
+the backward pass — the ablation reproducing the O(B x T^2 x H) workspace
+spike the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph import Node, Stage, Tensor
+from repro.echo.analysis import Candidate, TensorKey
+
+
+@dataclass
+class AppliedCandidate:
+    """Bookkeeping for one applied region, sufficient to roll it back."""
+
+    candidate: Candidate
+    mirrors: dict[int, Node]  # original uid -> mirror node
+    #: (backward node, its inputs tuple before re-pointing)
+    repointed: list[tuple[Node, tuple[Tensor, ...]]] = field(default_factory=list)
+
+    def rollback(self) -> None:
+        """Restore every re-pointed consumer; mirrors become unreachable."""
+        for node, original_inputs in self.repointed:
+            node.inputs = original_inputs
+        self.repointed.clear()
+
+
+class RewriteError(RuntimeError):
+    """Raised when a rewrite would produce an inconsistent graph."""
+
+
+def _clone_as_mirror(node: Node, input_map: dict[TensorKey, Tensor]) -> Node:
+    inputs = [input_map.get(t.key, t) for t in node.inputs]
+    mirror = Node.__new__(Node)
+    # Clone without re-running shape inference: specs are identical.
+    from repro.graph.node import _NODE_COUNTER
+
+    mirror.uid = next(_NODE_COUNTER)
+    mirror.op = node.op
+    mirror.inputs = tuple(inputs)
+    mirror.attrs = dict(node.attrs)
+    mirror.name = f"{node.name}__recompute"
+    mirror.stage = Stage.RECOMPUTE
+    mirror.scope = node.scope
+    mirror.out_specs = node.out_specs
+    mirror.mirror_of = node
+    mirror.priority = float(mirror.uid)
+    return mirror
+
+
+def apply_candidate(
+    candidate: Candidate,
+    order: Sequence[Node],
+    output_keys: set[TensorKey],
+    workspace_sharing: bool = True,
+) -> AppliedCandidate:
+    """Mirror ``candidate.nodes`` and re-point their backward consumers."""
+    region_uids = {n.uid for n in candidate.nodes}
+
+    # Map: original output key -> mirrored tensor.
+    input_map: dict[TensorKey, Tensor] = {}
+    mirrors: dict[int, Node] = {}
+    for node in candidate.nodes:  # already topologically sorted
+        mirror = _clone_as_mirror(node, input_map)
+        mirrors[node.uid] = mirror
+        for i in range(len(node.out_specs)):
+            input_map[(node.uid, i)] = Tensor(mirror, i)
+
+    # Re-point backward consumers of region outputs at the mirrors; leave
+    # forward consumers, pinned graph outputs, and intentionally preserved
+    # stashes on the originals.
+    applied = AppliedCandidate(candidate=candidate, mirrors=mirrors)
+    first_consumer_priority: dict[int, float] = {}
+    for consumer in order:
+        if consumer.stage is Stage.FORWARD:
+            continue
+        new_inputs: list[Tensor] | None = None
+        for idx, t in enumerate(consumer.inputs):
+            if (
+                t.node.uid not in region_uids
+                or t.key in output_keys
+                or t.key in candidate.preserved
+            ):
+                continue
+            if new_inputs is None:
+                new_inputs = list(consumer.inputs)
+            new_inputs[idx] = input_map[t.key]
+            mirror_uid = input_map[t.key].node.uid
+            prio = first_consumer_priority.get(mirror_uid, consumer.priority)
+            first_consumer_priority[mirror_uid] = min(prio, consumer.priority)
+        if new_inputs is not None:
+            applied.repointed.append((consumer, consumer.inputs))
+            consumer.inputs = tuple(new_inputs)
+
+    _assign_priorities(
+        candidate, mirrors, first_consumer_priority, order, workspace_sharing
+    )
+    return applied
+
+
+def _assign_priorities(
+    candidate: Candidate,
+    mirrors: dict[int, Node],
+    first_consumer_priority: dict[int, float],
+    order: Sequence[Node],
+    workspace_sharing: bool,
+) -> None:
+    if workspace_sharing:
+        # Lazy: each mirror just before its FIRST consumer — which may be
+        # a re-pointed backward node or another mirror (recurrent chains:
+        # the c_{t} mirror is a dependency of the c_{t+1} mirror, whose
+        # consumer can be much earlier than c_t's own backward consumer).
+        # Taking the minimum over both, propagated in reverse topological
+        # order, keeps chain mirrors at the front of the backward pass
+        # instead of inverting the schedule.
+        for node in reversed(candidate.nodes):
+            mirror = mirrors[node.uid]
+            direct = first_consumer_priority.get(mirror.uid, float("inf"))
+            via_users = min(
+                (
+                    mirrors[user.uid].priority
+                    for user in candidate.nodes
+                    if any(t.node.uid == node.uid for t in user.inputs)
+                ),
+                default=float("inf"),
+            )
+            prio = min(direct, via_users)
+            if prio == float("inf"):
+                prio = float(mirror.uid)
+            mirror.priority = prio - 0.5
+    else:
+        # Eager: hoist every mirror to the start of the backward pass.
+        backward_priorities = [
+            n.priority for n in order if n.stage is Stage.BACKWARD
+        ]
+        if not backward_priorities:
+            raise RewriteError("graph has no backward nodes to hoist before")
+        boundary = min(backward_priorities) - 0.5
+        for i, node in enumerate(candidate.nodes):
+            mirrors[node.uid].priority = boundary - 1e-6 * (
+                len(candidate.nodes) - i
+            )

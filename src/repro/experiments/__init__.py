@@ -1,0 +1,20 @@
+"""Experiment drivers shared by benchmarks and examples (DESIGN.md S14)."""
+
+from repro.experiments.common import Measurement, format_table, gib, measure_training
+from repro.experiments.nmt_suite import (
+    CUDNN,
+    DEFAULT,
+    DEFAULT_RAW,
+    ECHO,
+    NmtVariant,
+    max_fitting_batch,
+    measure_nmt,
+)
+from repro.experiments.settings import BEST, GROUNDHOG, TINY, ZHU, ZHU_T50
+
+__all__ = [
+    "Measurement", "measure_training", "format_table", "gib",
+    "NmtVariant", "measure_nmt", "max_fitting_batch",
+    "DEFAULT", "DEFAULT_RAW", "CUDNN", "ECHO",
+    "ZHU", "ZHU_T50", "GROUNDHOG", "BEST", "TINY",
+]

@@ -1,0 +1,115 @@
+"""Shared experiment plumbing: the measurement harness and table printing.
+
+Every figure/table benchmark funnels through :func:`measure_training`,
+which builds (or receives) a training graph, optionally runs the Echo
+pass, and reports the three quantities the paper's evaluation revolves
+around: peak GPU memory (nvidia-smi view), training throughput, and power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.autodiff.training import TrainingGraph
+from repro.echo import EchoConfig, EchoPass, EchoReport
+from repro.gpumodel import DeviceModel
+from repro.profiler import MemoryReport, profile_memory, profile_runtime
+from repro.profiler.runtime import RuntimeReport
+from repro.runtime import TrainingExecutor
+
+#: host-side optimizer update time per parameter element (see trainer)
+_UPDATE_SECONDS_PER_PARAM = 2.0e-11
+
+
+@dataclass
+class Measurement:
+    """One (model config, backend, device) evaluation point."""
+
+    label: str
+    batch_size: int
+    memory: MemoryReport
+    runtime: RuntimeReport
+    iteration_seconds: float
+    device: DeviceModel
+    echo_report: EchoReport | None = None
+
+    @property
+    def total_bytes(self) -> int:
+        return self.memory.total_bytes
+
+    @property
+    def throughput(self) -> float:
+        """Training samples per second."""
+        return self.batch_size / self.iteration_seconds
+
+    @property
+    def fits_in_memory(self) -> bool:
+        return self.total_bytes <= self.device.spec.dram_capacity
+
+    @property
+    def power_watts(self) -> float:
+        busy = self.runtime.kernel_seconds / max(
+            self.runtime.iteration_seconds, 1e-30
+        )
+        return self.device.power_watts(busy)
+
+    def energy_per_sample(self) -> float:
+        """Joules per training sample."""
+        return self.power_watts * self.iteration_seconds / self.batch_size
+
+
+def measure_training(
+    graph: TrainingGraph,
+    batch_size: int,
+    label: str,
+    device: DeviceModel | None = None,
+    echo: bool = False,
+    echo_config: EchoConfig | None = None,
+    optimizer: str = "adam",
+    num_params: int | None = None,
+) -> Measurement:
+    """Cost one training configuration on the device model (no execution)."""
+    device = device or DeviceModel()
+    echo_report = None
+    if echo:
+        echo_report = EchoPass(echo_config, device).run(graph)
+    executor = TrainingExecutor(graph, device=device)
+    cost = executor.simulate_cost()
+    runtime = profile_runtime(cost.timings)
+    memory = profile_memory(executor.memory_plan, optimizer=optimizer)
+    params = num_params if num_params is not None else 0
+    iteration = runtime.iteration_seconds + params * _UPDATE_SECONDS_PER_PARAM
+    return Measurement(
+        label=label,
+        batch_size=batch_size,
+        memory=memory,
+        runtime=runtime,
+        iteration_seconds=iteration,
+        device=device,
+        echo_report=echo_report,
+    )
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table used by every benchmark's printed output."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(f"--- {title} ---")
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def gib(nbytes: int) -> float:
+    return nbytes / 2**30

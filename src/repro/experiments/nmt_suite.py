@@ -1,0 +1,82 @@
+"""NMT measurement suite shared by the Figure 4b/13/14/15/16/17/18/19
+benchmarks: builds (config x backend x echo x device) points with caching,
+since several figures reuse the same point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.echo import EchoConfig
+from repro.experiments.common import Measurement, measure_training
+from repro.gpumodel import DeviceModel, DeviceSpec, TITAN_XP
+from repro.models.nmt import NmtConfig, build_nmt
+from repro.nn import Backend
+
+_CACHE: dict[tuple, Measurement] = {}
+
+
+@dataclass(frozen=True)
+class NmtVariant:
+    """Named implementation variants from the paper's evaluation."""
+
+    backend: Backend = Backend.DEFAULT
+    echo: bool = False
+    parallel_reverse: bool = True  # the "par_rev" superscript
+
+    @property
+    def label(self) -> str:
+        name = "EcoRNN/Echo" if self.echo else (
+            "CuDNN" if self.backend is Backend.CUDNN else "Default"
+        )
+        return name + ("^par_rev" if self.parallel_reverse else "")
+
+
+DEFAULT_RAW = NmtVariant(parallel_reverse=False)
+DEFAULT = NmtVariant()  # Default^par_rev, the paper's main baseline
+CUDNN = NmtVariant(backend=Backend.CUDNN)
+ECHO = NmtVariant(backend=Backend.ECHO, echo=True)
+
+
+def measure_nmt(
+    config: NmtConfig,
+    variant: NmtVariant = DEFAULT,
+    device_spec: DeviceSpec = TITAN_XP,
+    echo_config: EchoConfig | None = None,
+) -> Measurement:
+    """Build + cost one NMT training configuration (cached)."""
+    key = (config, variant, device_spec.name, echo_config)
+    if key in _CACHE:
+        return _CACHE[key]
+    cfg = config.with_backend(variant.backend)
+    if not variant.parallel_reverse:
+        from dataclasses import replace
+
+        cfg = replace(cfg, parallel_reverse=False)
+    model = build_nmt(cfg)
+    measurement = measure_training(
+        model.graph,
+        batch_size=cfg.batch_size,
+        label=f"{variant.label} B={cfg.batch_size}",
+        device=DeviceModel(device_spec),
+        echo=variant.echo,
+        echo_config=echo_config,
+        num_params=model.store.num_parameters(),
+    )
+    _CACHE[key] = measurement
+    return measurement
+
+
+def max_fitting_batch(
+    config: NmtConfig,
+    variant: NmtVariant,
+    device_spec: DeviceSpec = TITAN_XP,
+    candidates: tuple[int, ...] = (16, 32, 64, 128, 256, 512, 1024, 2048),
+) -> int:
+    """Largest candidate batch size whose footprint fits the device."""
+    best = 0
+    for batch in candidates:
+        m = measure_nmt(config.with_batch_size(batch), variant, device_spec)
+        if m.fits_in_memory:
+            best = batch
+    return best

@@ -1,0 +1,25 @@
+"""GPU device & cost model (DESIGN.md S5): the silicon substitute."""
+
+from repro.gpumodel.devices import (
+    ALL_DEVICES,
+    RTX_2080_TI,
+    TITAN_V,
+    TITAN_XP,
+    DeviceModel,
+    DeviceSpec,
+    KernelCost,
+)
+from repro.gpumodel.gemm import GemmEstimate, estimate_gemm, gemm_efficiency
+
+__all__ = [
+    "DeviceSpec",
+    "DeviceModel",
+    "KernelCost",
+    "TITAN_XP",
+    "TITAN_V",
+    "RTX_2080_TI",
+    "ALL_DEVICES",
+    "estimate_gemm",
+    "gemm_efficiency",
+    "GemmEstimate",
+]

@@ -1,0 +1,112 @@
+"""Analytic GEMM kernel model (cuBLAS stand-in).
+
+The model is a roofline (max of compute-bound and bandwidth-bound time)
+scaled by an *achieved-efficiency* term calibrated against the paper's
+Figure 9 measurements and standard cuBLAS behavior on skewed matrices:
+
+``eff = f_M * f_N`` with
+
+* ``f_M = M / (M + 96 * 512 / K)`` — the M (tile-row / vectorized) dimension
+  underfills tall 128-wide tiles when small; the penalty shrinks as the K
+  loop grows because per-tile setup cost is amortized over K iterations;
+* ``f_N = N / (N + 16)`` — a milder penalty for narrow outputs.
+
+This reproduces the paper's observations: ``Y^T = W . X^T`` (tall-M) beats
+``Y = X . W^T`` (short-M) by ~2x at LSTM shapes (M or N = 64, K = 512) and
+by ~1.3x at GRU shapes (K = 1024), and the gap closes as batch size grows.
+The L2 hit-rate readout is a proxy derived from the same efficiency term —
+the paper attributes the layout gap to cache utilization, and the proxy
+keeps that correlation without claiming to simulate cuBLAS's internal
+tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: GPU-side fixed overhead per GEMM kernel (scheduling, prologue), seconds.
+_GEMM_FIXED_SECONDS = 1.5e-6
+
+#: Base fraction of peak FLOPS a well-shaped SGEMM achieves.
+_BASE_EFFICIENCY = 0.90
+
+
+@dataclass(frozen=True)
+class GemmEstimate:
+    """Modeled execution of one (possibly batched) GEMM."""
+
+    seconds: float
+    dram_bytes: int
+    flops: int
+    achieved_fraction: float  # of peak FLOPS
+    l2_hit_rate: float
+
+
+def gemm_efficiency(m: int, n: int, k: int) -> float:
+    """Fraction of peak FLOPS achieved for a [M,K]x[K,N] GEMM."""
+    f_m = m / (m + 96.0 * 512.0 / max(k, 1))
+    f_n = n / (n + 16.0)
+    return _BASE_EFFICIENCY * f_m * f_n
+
+
+def estimate_gemm(
+    peak_flops: float,
+    dram_bandwidth: float,
+    l2_bytes: int,
+    m: int,
+    n: int,
+    k: int,
+    batch: int = 1,
+    itemsize: int = 4,
+) -> GemmEstimate:
+    """Model one GEMM (or a batch of identical GEMMs) on a device."""
+    flops = 2 * m * n * k * batch
+    a_bytes = m * k * itemsize * batch
+    b_bytes = k * n * itemsize * batch
+    c_bytes = m * n * itemsize * batch
+
+    # DRAM traffic: each operand streams once; an operand larger than L2
+    # spills and is partially re-read across CTA waves.
+    def spill_factor(nbytes: int) -> float:
+        if nbytes <= l2_bytes:
+            return 1.0
+        return 1.0 + 0.25 * min(nbytes / l2_bytes - 1.0, 3.0)
+
+    traffic = int(
+        a_bytes * spill_factor(a_bytes)
+        + b_bytes * spill_factor(b_bytes)
+        + c_bytes
+    )
+
+    if min(m, n, k) == 1:
+        # Degenerate GEMV/outer-product shapes: cuBLAS dispatches
+        # bandwidth-oriented kernels, so tile-waste penalties don't apply.
+        eff = 0.8
+        seconds = traffic / (dram_bandwidth * eff) + _GEMM_FIXED_SECONDS
+        return GemmEstimate(
+            seconds=seconds,
+            dram_bytes=traffic,
+            flops=flops,
+            achieved_fraction=eff,
+            l2_hit_rate=0.5,
+        )
+
+    eff = gemm_efficiency(m, n, k)
+    t_compute = flops / (peak_flops * eff)
+    t_memory = traffic / dram_bandwidth
+    seconds = max(t_compute, t_memory) + _GEMM_FIXED_SECONDS
+
+    # L2 hit proxy: per-CTA tile re-reads that did NOT go to DRAM. Scales
+    # with the achieved-efficiency term so the faster layout also shows the
+    # higher cache utilization, as measured in the paper.
+    naive = a_bytes * max(1, n // 128) + b_bytes * max(1, m // 128) + c_bytes
+    hit = 1.0 - traffic / max(naive, traffic)
+    hit = min(0.98, hit * (0.5 + 0.5 * eff / _BASE_EFFICIENCY))
+
+    return GemmEstimate(
+        seconds=seconds,
+        dram_bytes=traffic,
+        flops=flops,
+        achieved_fraction=eff,
+        l2_hit_rate=hit,
+    )

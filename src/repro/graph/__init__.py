@@ -1,0 +1,40 @@
+"""Dataflow-graph IR: nodes, tensors, operators, traversal.
+
+This is the substrate layer standing in for MXNet's NNVM graph in the
+paper's integration (DESIGN.md S1).
+"""
+
+from repro.graph.node import (
+    Node,
+    Stage,
+    Tensor,
+    TensorSpec,
+    current_scope,
+    scope,
+)
+from repro.graph.op import Op, OpError, get_op, register, registered_ops
+from repro.graph.shapes import ShapeError, broadcast_shapes
+from repro.graph.printing import GraphSummary, format_graph, summarize
+from repro.graph.traversal import ancestors, consumers_map, topo_order
+
+__all__ = [
+    "Node",
+    "Stage",
+    "Tensor",
+    "TensorSpec",
+    "scope",
+    "current_scope",
+    "Op",
+    "OpError",
+    "register",
+    "get_op",
+    "registered_ops",
+    "ShapeError",
+    "broadcast_shapes",
+    "topo_order",
+    "consumers_map",
+    "ancestors",
+    "summarize",
+    "format_graph",
+    "GraphSummary",
+]

@@ -1,0 +1,113 @@
+"""Operator base class and registry.
+
+Every operator in the library subclasses :class:`Op` and registers a single
+stateless instance. Besides the usual framework triple (shape inference,
+numpy kernel, symbolic gradient), each op also exposes the *cost hooks* the
+Echo pass and the GPU model need:
+
+* ``flops`` / ``bytes_accessed`` feed the roofline kernel-time estimate;
+* ``workspace_bytes`` is the transient scratch a kernel needs (the paper's
+  "workspace" memory category);
+* ``launch_count`` models how many CUDA kernels the framework emits for the
+  op (the unfused "Default" LSTM backend emits many — the paper's Figure 7);
+* ``recompute_cheap`` marks ops Echo may mirror into the backward pass
+  (elementwise / activation / layout ops — everything but heavy GEMMs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.graph.node import Node, Tensor, TensorSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class OpError(RuntimeError):
+    """Raised for invalid operator construction or execution."""
+
+
+class Op:
+    """Base class of all graph operators. Subclasses are singletons."""
+
+    #: unique operator name used in the registry and in profiles
+    name: str = "op"
+    #: whether the Echo pass may mirror this op into the backward pass
+    recompute_cheap: bool = False
+
+    # -- graph-construction interface --------------------------------------
+
+    def num_outputs(self, node: Node) -> int:
+        return 1
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        """Compute output specs from ``node.inputs`` and ``node.attrs``."""
+        raise NotImplementedError
+
+    def gradient(
+        self, node: Node, out_grads: Sequence[Tensor | None]
+    ) -> Sequence[Tensor | None]:
+        """Build gradient expressions for each input of ``node``.
+
+        ``out_grads[i]`` is the gradient flowing into output ``i`` (``None``
+        when that output does not influence the loss). Return one entry per
+        input; ``None`` marks non-differentiable inputs.
+        """
+        raise OpError(f"op '{self.name}' is not differentiable")
+
+    # -- execution interface ------------------------------------------------
+
+    def compute(
+        self, node: Node, inputs: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Run the numpy kernel; must return one array per output."""
+        raise NotImplementedError
+
+    # -- cost hooks ----------------------------------------------------------
+
+    def flops(self, node: Node) -> int:
+        """Floating-point operations; default: one per output element."""
+        return sum(s.num_elements for s in node.out_specs)
+
+    def bytes_accessed(self, node: Node) -> int:
+        """DRAM bytes touched assuming no cache reuse (inputs + outputs)."""
+        total = sum(s.nbytes for s in node.out_specs)
+        total += sum(t.nbytes for t in node.inputs)
+        return total
+
+    def workspace_bytes(self, node: Node) -> int:
+        """Transient scratchpad bytes the kernel needs while running."""
+        return 0
+
+    def launch_count(self, node: Node) -> int:
+        """Number of GPU kernels the framework launches for this op."""
+        return 1
+
+    def __repr__(self) -> str:
+        return f"<op {self.name}>"
+
+
+_REGISTRY: dict[str, Op] = {}
+
+
+def register(op: Op) -> Op:
+    """Register a singleton op instance; returns it for assignment."""
+    if op.name in _REGISTRY:
+        raise OpError(f"duplicate op registration: {op.name!r}")
+    _REGISTRY[op.name] = op
+    return op
+
+
+def get_op(name: str) -> Op:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise OpError(f"unknown op {name!r}") from None
+
+
+def registered_ops() -> dict[str, Op]:
+    """A copy of the registry (name -> singleton instance)."""
+    return dict(_REGISTRY)

@@ -1,0 +1,95 @@
+"""Human-readable graph dumps and summaries (debugging aids).
+
+``graph_summary`` is what the examples print; ``format_graph`` is the
+full node-by-node listing (MXNet's ``print(sym.debug_str())`` analog).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.graph.node import Node, Stage, Tensor
+from repro.graph.traversal import topo_order
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Aggregate statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    by_stage: dict[str, int]
+    by_op: dict[str, int]
+    by_scope: dict[str, int]
+    total_output_bytes: int
+
+    def format(self, top_k: int = 8) -> str:
+        lines = [
+            f"graph: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"{self.total_output_bytes / 2**20:.1f} MiB of node outputs"
+        ]
+        stages = ", ".join(f"{k}={v}" for k, v in sorted(self.by_stage.items()))
+        lines.append(f"  stages: {stages}")
+        lines.append("  top ops:")
+        for name, count in Counter(self.by_op).most_common(top_k):
+            lines.append(f"    {name:<24} x{count}")
+        if self.by_scope:
+            lines.append("  scopes:")
+            for scope_name, count in sorted(
+                self.by_scope.items(), key=lambda kv: -kv[1]
+            )[:top_k]:
+                lines.append(f"    {scope_name or '(root)':<24} x{count}")
+        return "\n".join(lines)
+
+
+def summarize(outputs: Iterable[Tensor]) -> GraphSummary:
+    """Summary statistics for all nodes reachable from ``outputs``."""
+    nodes = topo_order(outputs)
+    by_stage = Counter(n.stage.value for n in nodes)
+    by_op = Counter(n.op.name for n in nodes)
+    by_scope = Counter(n.scope.split("/")[0] for n in nodes)
+    edges = sum(len(n.inputs) for n in nodes)
+    nbytes = sum(s.nbytes for n in nodes for s in n.out_specs)
+    return GraphSummary(
+        num_nodes=len(nodes),
+        num_edges=edges,
+        by_stage=dict(by_stage),
+        by_op=dict(by_op),
+        by_scope=dict(by_scope),
+        total_output_bytes=nbytes,
+    )
+
+
+def format_graph(
+    outputs: Iterable[Tensor],
+    max_nodes: int | None = None,
+    stages: Sequence[Stage] | None = None,
+) -> str:
+    """Node-by-node listing in topological order.
+
+    ``stages`` filters (e.g. only ``Stage.RECOMPUTE`` to inspect what Echo
+    mirrored); ``max_nodes`` truncates long graphs with an ellipsis line.
+    """
+    nodes = topo_order(outputs)
+    if stages is not None:
+        wanted = set(stages)
+        nodes = [n for n in nodes if n.stage in wanted]
+    lines = []
+    shown = nodes if max_nodes is None else nodes[:max_nodes]
+    for node in shown:
+        lines.append(_format_node(node))
+    if max_nodes is not None and len(nodes) > max_nodes:
+        lines.append(f"... ({len(nodes) - max_nodes} more nodes)")
+    return "\n".join(lines)
+
+
+def _format_node(node: Node) -> str:
+    ins = ", ".join(t.short_name for t in node.inputs)
+    outs = " ".join(
+        "x".join(str(d) for d in s.shape) or "scalar" for s in node.out_specs
+    )
+    stage = "" if node.stage is Stage.FORWARD else f" [{node.stage.value}]"
+    scope_tag = f" @{node.scope}" if node.scope else ""
+    return f"{node.name}{stage}{scope_tag} = {node.op.name}({ins}) -> {outs}"

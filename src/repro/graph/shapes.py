@@ -1,0 +1,47 @@
+"""Shape arithmetic helpers shared by operator shape inference."""
+
+from __future__ import annotations
+
+Shape = tuple[int, ...]
+
+
+class ShapeError(ValueError):
+    """Raised when operand shapes are incompatible."""
+
+
+def broadcast_shapes(a: Shape, b: Shape) -> Shape:
+    """Numpy-style broadcast of two static shapes."""
+    out: list[int] = []
+    ra, rb = len(a), len(b)
+    for i in range(max(ra, rb)):
+        da = a[ra - 1 - i] if i < ra else 1
+        db = b[rb - 1 - i] if i < rb else 1
+        if da == db or da == 1 or db == 1:
+            out.append(max(da, db))
+        else:
+            raise ShapeError(f"cannot broadcast {a} with {b}")
+    return tuple(reversed(out))
+
+
+def num_elements(shape: Shape) -> int:
+    n = 1
+    for d in shape:
+        n *= d
+    return n
+
+
+def normalize_axis(axis: int, rank: int) -> int:
+    """Map a possibly-negative axis into [0, rank)."""
+    if not -rank <= axis < rank:
+        raise ShapeError(f"axis {axis} out of range for rank {rank}")
+    return axis % rank
+
+
+def reduced_shape(shape: Shape, axis: int | None, keepdims: bool) -> Shape:
+    """Output shape of a reduction over ``axis`` (None = all axes)."""
+    if axis is None:
+        return tuple(1 for _ in shape) if keepdims else ()
+    ax = normalize_axis(axis, len(shape))
+    if keepdims:
+        return tuple(1 if i == ax else d for i, d in enumerate(shape))
+    return tuple(d for i, d in enumerate(shape) if i != ax)

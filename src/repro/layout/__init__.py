@@ -1,0 +1,5 @@
+"""Data layout optimization for LSTM fully-connected layers (DESIGN.md S8)."""
+
+from repro.layout.layouts import Layout, RnnDataLayout
+
+__all__ = ["Layout", "RnnDataLayout"]

@@ -1,0 +1,52 @@
+"""Data-layout vocabulary for the fully-connected layers of LSTM RNNs.
+
+The paper's data layout optimization is a single binary decision (Section
+4.2): compute a fully-connected layer either as
+
+* ``ROW_MAJOR``  — ``Y = X . W^T``  (framework default; output batch-major), or
+* ``COL_MAJOR``  — ``Y^T = W . X^T`` (transposed; output hidden-major),
+
+which are mathematically identical but differ in cache utilization and
+runtime on real GPUs because both ``X`` ([B x H], wide) and ``W``
+([4H x H], tall) are skewed matrices. The NP-hard general data-layout
+problem collapses to this one bit for LSTM RNNs because every timestep
+repeats the same GEMM dimensions.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Layout(Enum):
+    """How a fully-connected layer's GEMM is issued to the device."""
+
+    ROW_MAJOR = "row_major"  # Y   = X . W^T   (GEMM dims M=B,  N=4H, K=H)
+    COL_MAJOR = "col_major"  # Y^T = W . X^T   (GEMM dims M=4H, N=B,  K=H)
+
+    @property
+    def transposed(self) -> bool:
+        return self is Layout.COL_MAJOR
+
+    def gemm_dims(self, batch_rows: int, out_units: int, in_units: int
+                  ) -> tuple[int, int, int]:
+        """Map logical FC dims to the (M, N, K) the device kernel sees."""
+        if self is Layout.ROW_MAJOR:
+            return batch_rows, out_units, in_units
+        return out_units, batch_rows, in_units
+
+
+class RnnDataLayout(Enum):
+    """Layout of the sequence tensor fed to an RNN layer.
+
+    ``TNC`` is time-major [T x B x H] (framework default after the mandatory
+    time-major transpose); ``TCN`` is the paper's optimized [T x H x B]
+    layout whose per-step slices feed COL_MAJOR GEMMs without extra copies.
+    """
+
+    TNC = "tnc"
+    TCN = "tcn"
+
+    @property
+    def fc_layout(self) -> Layout:
+        return Layout.ROW_MAJOR if self is RnnDataLayout.TNC else Layout.COL_MAJOR

@@ -1,0 +1,23 @@
+"""Workload models (DESIGN.md S9): word LM, NMT, ResNet-50 manifest."""
+
+from repro.models.deepspeech import (
+    DeepSpeechConfig,
+    DeepSpeechModel,
+    build_deepspeech,
+    ctc_greedy_decode,
+)
+from repro.models.nmt import NmtConfig, NmtModel, build_nmt
+from repro.models.word_lm import WordLmConfig, WordLmModel, build_word_lm
+
+__all__ = [
+    "WordLmConfig",
+    "WordLmModel",
+    "build_word_lm",
+    "DeepSpeechConfig",
+    "DeepSpeechModel",
+    "build_deepspeech",
+    "ctc_greedy_decode",
+    "NmtConfig",
+    "NmtModel",
+    "build_nmt",
+]

@@ -1,0 +1,74 @@
+"""Analytic ResNet-50 workload for the motivation comparison (Figure 4a).
+
+The paper contrasts CNN and RNN scaling: ResNet-50 throughput *saturates*
+with batch size (compute units are full from B~32), while NMT throughput
+keeps growing until it hits the memory-capacity wall. We model ResNet-50
+with a per-stage FLOP/byte manifest costed on the same device model —
+no conv kernels are executed, since only the throughput *curve shape*
+participates in the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpumodel import DeviceModel
+
+_LAUNCH_OVERHEAD_SECONDS = 5.5e-6
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One ResNet stage: FLOPs and activation bytes per image, kernels."""
+
+    name: str
+    flops_per_image: float  # forward only
+    activation_bytes_per_image: int
+    kernels: int  # forward kernel launches (conv + bn + relu + add)
+
+
+#: Coarse per-stage manifest (forward). FLOPs total ~3.9e9/image, the
+#: standard ResNet-50 number; backward multiplies both by ~2.
+RESNET50_STAGES = (
+    StageSpec("conv1+pool", 0.24e9, 3_211_264, 4),
+    StageSpec("stage1 (3 blocks)", 0.68e9, 9_633_792, 33),
+    StageSpec("stage2 (4 blocks)", 0.85e9, 6_422_528, 44),
+    StageSpec("stage3 (6 blocks)", 1.33e9, 4_816_896, 66),
+    StageSpec("stage4 (3 blocks)", 0.73e9, 1_605_632, 33),
+    StageSpec("pool+fc", 0.01e9, 16_384, 3),
+)
+
+#: Achieved fraction of peak FLOPS for a well-fed conv layer (includes the
+#: bandwidth-bound BN/ReLU interludes); calibrated to ~200 img/s training
+#: throughput on Titan Xp, the published MXNet number of the era.
+_CONV_EFFICIENCY = 0.17
+
+#: Batch size at which conv kernels reach half of that efficiency: small
+#: batches underfill the GPU's CTAs (the reason the curve rises at all).
+_HALF_EFFICIENCY_BATCH = 10.0
+
+
+def resnet50_iteration_seconds(
+    device: DeviceModel, batch_size: int
+) -> float:
+    """One training iteration (forward + backward) at this batch size."""
+    spec = device.spec
+    efficiency = _CONV_EFFICIENCY * batch_size / (
+        batch_size + _HALF_EFFICIENCY_BATCH
+    )
+    kernel_seconds = 0.0
+    launches = 0
+    for stage in RESNET50_STAGES:
+        flops = 3.0 * stage.flops_per_image * batch_size  # fwd + bwd
+        nbytes = 5 * stage.activation_bytes_per_image * batch_size
+        compute = flops / (spec.peak_flops * efficiency)
+        memory = nbytes / spec.dram_bandwidth
+        kernel_seconds += max(compute, memory)
+        launches += 3 * stage.kernels
+    api_seconds = launches * _LAUNCH_OVERHEAD_SECONDS
+    return max(kernel_seconds, api_seconds)
+
+
+def resnet50_throughput(device: DeviceModel, batch_size: int) -> float:
+    """Training throughput in images/second."""
+    return batch_size / resnet50_iteration_seconds(device, batch_size)

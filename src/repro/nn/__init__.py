@@ -1,0 +1,33 @@
+"""Neural-network layer zoo (DESIGN.md S9)."""
+
+from repro.nn.attention import AttentionState, DotAttention, MlpAttention
+from repro.nn.layers import OutputLayer, WordEmbedding
+from repro.nn.module import ParamSpec, ParamStore
+from repro.nn.rnn import (
+    Backend,
+    GruCell,
+    LstmCell,
+    LstmStates,
+    bidirectional_lstm,
+    gru_layer,
+    lstm_layer,
+    multilayer_lstm,
+)
+
+__all__ = [
+    "ParamStore",
+    "ParamSpec",
+    "Backend",
+    "LstmCell",
+    "LstmStates",
+    "lstm_layer",
+    "multilayer_lstm",
+    "bidirectional_lstm",
+    "GruCell",
+    "gru_layer",
+    "MlpAttention",
+    "DotAttention",
+    "AttentionState",
+    "WordEmbedding",
+    "OutputLayer",
+]

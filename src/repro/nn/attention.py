@@ -1,0 +1,126 @@
+"""Attention layers for the NMT decoder.
+
+``MlpAttention`` is the Sockeye-style scoring function the paper singles
+out (Section 5.2): a composite of **broadcast add + layer normalization +
+tanh** applied between each decoder query and every encoder position. Its
+computation is the canonical O-shape operator:
+
+* inputs per decoder step: the projected query ``[B x H]`` (the encoder-side
+  key projection ``[B x T x H]`` is computed once and shared by all steps);
+* outputs per step: attention scores ``[B x T]``;
+* interior per step: several ``[B x T x H]`` tensors, which summed over the
+  T decoder steps cost O(B x T^2 x H) bytes of feature maps.
+
+Echo discovers this region automatically — the scoring function is built
+from recompute-cheap ops bounded by GEMM checkpoints on both sides.
+
+``DotAttention`` (Luong-style) is included for completeness; it has no
+O-shape interior, which is a useful negative control for the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro.ops as O
+from repro.graph import Tensor, scope
+from repro.layout import Layout
+from repro.nn.module import ParamStore
+
+
+@dataclass
+class AttentionState:
+    """Precomputed encoder-side quantities shared across decoder steps."""
+
+    values: Tensor  # [B x T x H] encoder states (attention values)
+    keys_proj: Tensor  # [B x T x H] projected keys (MLP attention only)
+
+
+class MlpAttention:
+    """Bahdanau/Sockeye MLP attention with layer normalization.
+
+    ``manual_recompute=True`` wraps the O-shape interior in
+    :func:`repro.echo.manual.recompute_region` — the precursor system's
+    hand-annotated partial forward propagation, used by the parity
+    experiment against the automatic pass.
+    """
+
+    def __init__(
+        self,
+        store: ParamStore,
+        prefix: str,
+        hidden_size: int,
+        layout: Layout = Layout.ROW_MAJOR,
+        manual_recompute: bool = False,
+    ) -> None:
+        self.hidden_size = hidden_size
+        self.layout = layout
+        self.manual_recompute = manual_recompute
+        self.w_query = store.get(f"{prefix}.w_query", (hidden_size, hidden_size))
+        self.w_keys = store.get(f"{prefix}.w_keys", (hidden_size, hidden_size))
+        self.ln_gamma = store.get(f"{prefix}.ln_gamma", (hidden_size,), init="ones")
+        self.ln_beta = store.get(f"{prefix}.ln_beta", (hidden_size,), init="zeros")
+        self.v_score = store.get(f"{prefix}.v_score", (1, hidden_size))
+
+    def precompute(self, encoder_states: Tensor) -> AttentionState:
+        """Project the encoder states once ([B x T x H] keys)."""
+        batch, seq_len, hidden = encoder_states.shape
+        with scope("attention"):
+            flat = O.reshape(encoder_states, (batch * seq_len, hidden))
+            proj = O.fully_connected(flat, self.w_keys, layout=self.layout)
+            keys = O.reshape(proj, (batch, seq_len, hidden))
+        return AttentionState(values=encoder_states, keys_proj=keys)
+
+    def __call__(self, query: Tensor, state: AttentionState) -> Tensor:
+        """One decoder step: query [B x H] -> context [B x H]."""
+        batch, seq_len, hidden = state.keys_proj.shape
+        with scope("attention"):
+            q_proj = O.fully_connected(query, self.w_query, layout=self.layout)
+            activated = self._scoring_interior(q_proj, state, batch,
+                                               seq_len, hidden)
+            scores_flat = O.fully_connected(
+                activated, self.v_score, layout=self.layout
+            )
+            scores = O.reshape(scores_flat, (batch, 1, seq_len))
+            weights = O.softmax(scores, axis=-1)
+            context = O.batch_dot(weights, state.values)  # [B x 1 x H]
+            return O.reshape(context, (batch, hidden))
+
+    def _scoring_interior(self, q_proj, state, batch, seq_len, hidden):
+        """The O-shape interior: broadcast add + layer norm + tanh,
+        producing [B x T x H]-sized values per decoder step."""
+        def build():
+            combined = O.add(O.expand_dims(q_proj, 1), state.keys_proj)
+            flat = O.reshape(combined, (batch * seq_len, hidden))
+            normed = O.layer_norm(flat, self.ln_gamma, self.ln_beta)
+            return O.tanh(normed)
+
+        if self.manual_recompute:
+            from repro.echo.manual import recompute_region
+
+            with recompute_region():
+                return build()
+        return build()
+
+
+class DotAttention:
+    """Luong dot-product attention: scores = Q . K^T (no O-shape interior)."""
+
+    def __init__(self, store: ParamStore, prefix: str, hidden_size: int,
+                 layout: Layout = Layout.ROW_MAJOR) -> None:
+        self.hidden_size = hidden_size
+        self.layout = layout
+        self.w_query = store.get(f"{prefix}.w_query", (hidden_size, hidden_size))
+
+    def precompute(self, encoder_states: Tensor) -> AttentionState:
+        return AttentionState(values=encoder_states, keys_proj=encoder_states)
+
+    def __call__(self, query: Tensor, state: AttentionState) -> Tensor:
+        batch, _seq_len, hidden = state.values.shape
+        with scope("attention"):
+            q_proj = O.fully_connected(query, self.w_query, layout=self.layout)
+            q3 = O.expand_dims(q_proj, 1)  # [B x 1 x H]
+            scores = O.batch_dot(q3, state.values, tb=True)  # [B x 1 x T]
+            weights = O.softmax(scores, axis=-1)
+            context = O.batch_dot(weights, state.values)
+            return O.reshape(context, (batch, hidden))

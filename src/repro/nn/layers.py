@@ -1,0 +1,65 @@
+"""Non-recurrent layers: embeddings and the vocabulary output head."""
+
+from __future__ import annotations
+
+import repro.ops as O
+from repro.graph import Tensor, scope
+from repro.layout import Layout
+from repro.nn.module import ParamStore
+
+
+class WordEmbedding:
+    """Token-id [T x B] -> hidden vectors [T x B x E]."""
+
+    def __init__(
+        self, store: ParamStore, prefix: str, vocab_size: int, embed_size: int
+    ) -> None:
+        self.vocab_size = vocab_size
+        self.embed_size = embed_size
+        self.weight = store.get(
+            f"{prefix}.weight", (vocab_size, embed_size), init="uniform"
+        )
+
+    def __call__(self, token_ids: Tensor) -> Tensor:
+        with scope("embedding"):
+            return O.embedding(self.weight, token_ids)
+
+
+class OutputLayer:
+    """Hidden states -> vocabulary logits -> mean cross-entropy loss.
+
+    The projection is the single largest GEMM of both workloads
+    ([T*B x H] x [V x H]); perplexity is exp(loss).
+    """
+
+    def __init__(
+        self,
+        store: ParamStore,
+        prefix: str,
+        hidden_size: int,
+        vocab_size: int,
+        layout: Layout = Layout.ROW_MAJOR,
+    ) -> None:
+        self.hidden_size = hidden_size
+        self.vocab_size = vocab_size
+        self.layout = layout
+        self.weight = store.get(f"{prefix}.weight", (vocab_size, hidden_size))
+        self.bias = store.get(f"{prefix}.bias", (vocab_size,), init="zeros")
+
+    def logits(self, hidden: Tensor) -> Tensor:
+        """``hidden`` is [T x B x H]; returns [T*B x V]."""
+        seq_len, batch, h = hidden.shape
+        with scope("output"):
+            flat = O.reshape(hidden, (seq_len * batch, h))
+            return O.fully_connected(flat, self.weight, self.bias,
+                                     layout=self.layout)
+
+    def loss(self, hidden: Tensor, labels: Tensor,
+             ignore_label: int = -1) -> Tensor:
+        """``labels`` is [T x B] int; padding uses ``ignore_label``."""
+        seq_len, batch = labels.shape
+        with scope("output"):
+            flat_labels = O.reshape(labels, (seq_len * batch,))
+            return O.softmax_cross_entropy(
+                self.logits(hidden), flat_labels, ignore_label=ignore_label
+            )

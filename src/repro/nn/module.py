@@ -1,0 +1,85 @@
+"""Parameter management for model construction.
+
+A :class:`ParamStore` hands out ``variable`` tensors under unique names and
+remembers how to initialize them, so models are pure graph-building
+functions and the training loop owns the numpy parameter arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+import repro.ops as O
+from repro.graph import Tensor
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    name: str
+    shape: tuple[int, ...]
+    init: str  # "xavier" | "zeros" | "ones" | "uniform"
+
+
+class ParamStore:
+    """Creates and tracks trainable variables; materializes initial values."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._specs: dict[str, ParamSpec] = {}
+        self._tensors: dict[str, Tensor] = {}
+
+    def get(
+        self, name: str, shape: tuple[int, ...], init: str = "xavier"
+    ) -> Tensor:
+        """Variable tensor for ``name``; same name must keep same shape."""
+        if name in self._specs:
+            spec = self._specs[name]
+            if spec.shape != tuple(shape):
+                raise ValueError(
+                    f"parameter {name!r} requested with shape {shape}, "
+                    f"previously {spec.shape}"
+                )
+            return self._tensors[name]
+        spec = ParamSpec(name, tuple(shape), init)
+        self._specs[name] = spec
+        tensor = O.variable(shape, name=name)
+        self._tensors[name] = tensor
+        return tensor
+
+    @property
+    def tensors(self) -> dict[str, Tensor]:
+        return dict(self._tensors)
+
+    def num_parameters(self) -> int:
+        return sum(
+            int(np.prod(s.shape)) if s.shape else 1
+            for s in self._specs.values()
+        )
+
+    def initialize(self, seed: int | None = None) -> dict[str, np.ndarray]:
+        """Materialize initial values for every declared parameter."""
+        rng = np.random.default_rng(self._seed if seed is None else seed)
+        values: dict[str, np.ndarray] = {}
+        for spec in self._specs.values():
+            values[spec.name] = _init_array(spec, rng)
+        return values
+
+
+def _init_array(spec: ParamSpec, rng: np.random.Generator) -> np.ndarray:
+    if spec.init == "zeros":
+        return np.zeros(spec.shape, dtype=np.float32)
+    if spec.init == "ones":
+        return np.ones(spec.shape, dtype=np.float32)
+    if spec.init == "uniform":
+        return rng.uniform(-0.1, 0.1, spec.shape).astype(np.float32)
+    if spec.init == "xavier":
+        if len(spec.shape) >= 2:
+            fan_out, fan_in = spec.shape[0], int(np.prod(spec.shape[1:]))
+        else:
+            fan_in = fan_out = max(spec.shape[0], 1)
+        bound = math.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-bound, bound, spec.shape).astype(np.float32)
+    raise ValueError(f"unknown initializer {spec.init!r} for {spec.name!r}")

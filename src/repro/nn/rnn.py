@@ -1,0 +1,314 @@
+"""LSTM / GRU recurrent layers with the paper's three backends.
+
+* ``Backend.DEFAULT`` — the MXNet-style unfused cell: the "f" block is a
+  dozen separate slice / sigmoid / tanh / elementwise kernels per timestep,
+  so iterations drown in cudaLaunch overhead (paper Figure 7a).
+* ``Backend.CUDNN`` — cuDNN-style: the input-side GEMM of a layer is batched
+  over all timesteps into one large GEMM, and the pointwise block is a
+  single fused kernel per step (Appleyard et al.). Row-major GEMM layout.
+* ``Backend.ECHO`` — the fused structure plus the paper's data layout
+  optimization: every gate GEMM carries ``Layout.COL_MAJOR``
+  (``Y^T = W . X^T``), which the GPU model rewards with the Figure 9 cache
+  behavior. Numerics are identical across all backends.
+
+Sequence tensors are time-major ``[T x B x H]`` throughout, matching the
+paper's observation that inputs must become time-major to be sliced along
+the time dimension anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import repro.ops as O
+from repro.graph import Tensor, scope
+from repro.layout import Layout
+from repro.nn.module import ParamStore
+
+
+class Backend(Enum):
+    """Which LSTM implementation the framework dispatches to."""
+
+    DEFAULT = "default"
+    CUDNN = "cudnn"
+    ECHO = "echo"
+
+    @property
+    def fused(self) -> bool:
+        return self is not Backend.DEFAULT
+
+    @property
+    def layout(self) -> Layout:
+        return Layout.COL_MAJOR if self is Backend.ECHO else Layout.ROW_MAJOR
+
+
+@dataclass
+class LstmStates:
+    """Per-layer hidden and cell states."""
+
+    h: Tensor
+    c: Tensor
+
+
+class LstmCell:
+    """One LSTM layer applied a step at a time (used by decoders).
+
+    ``peephole=True`` adds Gers & Schmidhuber peephole connections (the
+    cell state feeds the input/forget/output gates). cuDNN's fused path
+    does not support peepholes — the paper cites exactly this as why
+    practitioners need framework-side cells — so the peephole block always
+    runs unfused; the data layout optimization on the GEMMs still applies,
+    which is the paper's Section 4.2 generality argument.
+    """
+
+    def __init__(
+        self,
+        store: ParamStore,
+        prefix: str,
+        input_size: int,
+        hidden_size: int,
+        backend: Backend = Backend.DEFAULT,
+        peephole: bool = False,
+    ) -> None:
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.backend = backend
+        self.peephole = peephole
+        self.w_x = store.get(f"{prefix}.w_x", (4 * hidden_size, input_size))
+        self.w_h = store.get(f"{prefix}.w_h", (4 * hidden_size, hidden_size))
+        self.bias = store.get(f"{prefix}.bias", (4 * hidden_size,), init="zeros")
+        if peephole:
+            self.p_i = store.get(f"{prefix}.p_i", (hidden_size,))
+            self.p_f = store.get(f"{prefix}.p_f", (hidden_size,))
+            self.p_o = store.get(f"{prefix}.p_o", (hidden_size,))
+
+    def gates_from_input(self, x_t: Tensor) -> Tensor:
+        """Input-side contribution to the pre-activations (one step)."""
+        return O.fully_connected(x_t, self.w_x, self.bias,
+                                 layout=self.backend.layout)
+
+    def step_from_gates(self, x_gates: Tensor, state: LstmStates) -> LstmStates:
+        """Advance one step given precomputed input-side gates."""
+        gates = O.add(
+            x_gates,
+            O.fully_connected(state.h, self.w_h, layout=self.backend.layout),
+        )
+        if self.peephole:
+            h, c = _peephole_lstm_block(
+                gates, state.c, self.hidden_size, self.p_i, self.p_f, self.p_o
+            )
+        elif self.backend.fused:
+            h, c = O.lstm_gates(gates, state.c)
+        else:
+            h, c = _unfused_lstm_block(gates, state.c, self.hidden_size)
+        return LstmStates(h=h, c=c)
+
+    def step(self, x_t: Tensor, state: LstmStates) -> LstmStates:
+        """One timestep: ``x_t`` is [B x input_size]."""
+        return self.step_from_gates(self.gates_from_input(x_t), state)
+
+    def zero_state(self, batch: int) -> LstmStates:
+        return LstmStates(
+            h=O.zeros((batch, self.hidden_size)),
+            c=O.zeros((batch, self.hidden_size)),
+        )
+
+
+def unstack_time(sequence: Tensor) -> list[Tensor]:
+    """Split a [T x B x H] tensor into T step tensors of [B x H].
+
+    Uses an axis-0 split (views into the contiguous buffer, as frameworks
+    do) rather than per-step slice_axis: the gradient is then a single
+    concat instead of T full-size scatter tensors.
+    """
+    seq_len = sequence.shape[0]
+    rest = sequence.shape[1:]
+    pieces = O.split(sequence, seq_len, axis=0) if seq_len > 1 else (sequence,)
+    return [O.reshape(p, rest) for p in pieces]
+
+
+def _peephole_lstm_block(
+    gates: Tensor,
+    c_prev: Tensor,
+    hidden: int,
+    p_i: Tensor,
+    p_f: Tensor,
+    p_o: Tensor,
+) -> tuple[Tensor, Tensor]:
+    """Gers & Schmidhuber peephole LSTM: gate pre-activations peek at the
+    cell state (input/forget see c_{t-1}; output sees c_t)."""
+    i_pre = O.slice_axis(gates, 1, 0 * hidden, 1 * hidden)
+    f_pre = O.slice_axis(gates, 1, 1 * hidden, 2 * hidden)
+    g_pre = O.slice_axis(gates, 1, 2 * hidden, 3 * hidden)
+    o_pre = O.slice_axis(gates, 1, 3 * hidden, 4 * hidden)
+    i = O.sigmoid(O.add(i_pre, O.mul(p_i, c_prev)))
+    f = O.sigmoid(O.add(f_pre, O.mul(p_f, c_prev)))
+    g = O.tanh(g_pre)
+    c = O.add(O.mul(f, c_prev), O.mul(i, g))
+    o = O.sigmoid(O.add(o_pre, O.mul(p_o, c)))
+    h = O.mul(o, O.tanh(c))
+    return h, c
+
+
+def _unfused_lstm_block(gates: Tensor, c_prev: Tensor, hidden: int
+                        ) -> tuple[Tensor, Tensor]:
+    """The Default backend's "f" block: many small kernels, as in MXNet."""
+    i_pre = O.slice_axis(gates, 1, 0 * hidden, 1 * hidden)
+    f_pre = O.slice_axis(gates, 1, 1 * hidden, 2 * hidden)
+    g_pre = O.slice_axis(gates, 1, 2 * hidden, 3 * hidden)
+    o_pre = O.slice_axis(gates, 1, 3 * hidden, 4 * hidden)
+    i = O.sigmoid(i_pre)
+    f = O.sigmoid(f_pre)
+    g = O.tanh(g_pre)
+    o = O.sigmoid(o_pre)
+    c = O.add(O.mul(f, c_prev), O.mul(i, g))
+    h = O.mul(o, O.tanh(c))
+    return h, c
+
+
+def lstm_layer(
+    store: ParamStore,
+    prefix: str,
+    sequence: Tensor,
+    hidden_size: int,
+    backend: Backend = Backend.DEFAULT,
+    init_state: LstmStates | None = None,
+    peephole: bool = False,
+) -> tuple[Tensor, LstmStates]:
+    """Run one LSTM layer over a [T x B x I] sequence.
+
+    Returns the [T x B x H] stacked hidden states and the final states.
+    The CUDNN/ECHO backends hoist the input-side GEMM out of the time loop
+    (one [T*B x I] GEMM), the key structural optimization of cuDNN's RNN
+    path; DEFAULT issues it per step like framework cells do.
+    """
+    seq_len, batch, input_size = sequence.shape
+    cell = LstmCell(store, prefix, input_size, hidden_size, backend,
+                    peephole=peephole)
+    state = init_state or cell.zero_state(batch)
+
+    if backend.fused:
+        flat = O.reshape(sequence, (seq_len * batch, input_size))
+        all_gates = O.fully_connected(flat, cell.w_x, cell.bias,
+                                      layout=backend.layout)
+        stacked = O.reshape(all_gates, (seq_len, batch, 4 * hidden_size))
+        x_gates_per_step = unstack_time(stacked)
+    else:
+        x_gates_per_step = [
+            cell.gates_from_input(x_t) for x_t in unstack_time(sequence)
+        ]
+
+    outputs: list[Tensor] = []
+    for t in range(seq_len):
+        state = cell.step_from_gates(x_gates_per_step[t], state)
+        outputs.append(O.expand_dims(state.h, 0))
+    stacked_h = O.concat(outputs, axis=0)
+    return stacked_h, state
+
+
+def multilayer_lstm(
+    store: ParamStore,
+    prefix: str,
+    sequence: Tensor,
+    hidden_size: int,
+    num_layers: int,
+    backend: Backend = Backend.DEFAULT,
+    dropout: float = 0.0,
+) -> tuple[Tensor, list[LstmStates]]:
+    """Stack ``num_layers`` LSTM layers with inter-layer dropout."""
+    states: list[LstmStates] = []
+    current = sequence
+    for layer in range(num_layers):
+        current, final = lstm_layer(
+            store, f"{prefix}.l{layer}", current, hidden_size, backend
+        )
+        states.append(final)
+        if dropout > 0.0 and layer < num_layers - 1:
+            current = O.dropout(current, dropout, seed=hash((prefix, layer)) & 0xFFFF)
+    return current, states
+
+
+def bidirectional_lstm(
+    store: ParamStore,
+    prefix: str,
+    sequence: Tensor,
+    hidden_size: int,
+    backend: Backend = Backend.DEFAULT,
+    parallel_reverse: bool = True,
+) -> Tensor:
+    """Bi-directional layer: forward and time-reversed passes, concatenated.
+
+    ``parallel_reverse=False`` models MXNet's sequential SequenceReverse
+    (the Figure 6 runtime pathology); the paper's fix sets it True.
+    """
+    if hidden_size % 2 != 0:
+        raise ValueError("bidirectional LSTM needs an even hidden size")
+    half = hidden_size // 2
+    fwd, _ = lstm_layer(store, f"{prefix}.fwd", sequence, half, backend)
+    reversed_in = O.sequence_reverse(sequence, parallel=parallel_reverse)
+    bwd_rev, _ = lstm_layer(store, f"{prefix}.bwd", reversed_in, half, backend)
+    bwd = O.sequence_reverse(bwd_rev, parallel=parallel_reverse)
+    return O.concat([fwd, bwd], axis=2)
+
+
+class GruCell:
+    """GRU cell (3 gates) — used by the layout study (Figure 9b) and as an
+    extension showing the optimizations generalize beyond vanilla LSTM."""
+
+    def __init__(
+        self,
+        store: ParamStore,
+        prefix: str,
+        input_size: int,
+        hidden_size: int,
+        backend: Backend = Backend.DEFAULT,
+    ) -> None:
+        self.hidden_size = hidden_size
+        self.backend = backend
+        self.w_x = store.get(f"{prefix}.w_x", (3 * hidden_size, input_size))
+        self.w_h = store.get(f"{prefix}.w_h", (3 * hidden_size, hidden_size))
+        self.bias = store.get(f"{prefix}.bias", (3 * hidden_size,), init="zeros")
+
+    def step(self, x_t: Tensor, h_prev: Tensor) -> Tensor:
+        hidden = self.hidden_size
+        layout = self.backend.layout
+        x_part = O.fully_connected(x_t, self.w_x, self.bias, layout=layout)
+        h_part = O.fully_connected(h_prev, self.w_h, layout=layout)
+        xr = O.slice_axis(x_part, 1, 0, hidden)
+        xz = O.slice_axis(x_part, 1, hidden, 2 * hidden)
+        xn = O.slice_axis(x_part, 1, 2 * hidden, 3 * hidden)
+        hr = O.slice_axis(h_part, 1, 0, hidden)
+        hz = O.slice_axis(h_part, 1, hidden, 2 * hidden)
+        hn = O.slice_axis(h_part, 1, 2 * hidden, 3 * hidden)
+        r = O.sigmoid(O.add(xr, hr))
+        z = O.sigmoid(O.add(xz, hz))
+        n = O.tanh(O.add(xn, O.mul(r, hn)))
+        one_minus_z = O.rsub_scalar(z, 1.0)
+        return O.add(O.mul(one_minus_z, n), O.mul(z, h_prev))
+
+    def zero_state(self, batch: int) -> Tensor:
+        return O.zeros((batch, self.hidden_size))
+
+
+def gru_layer(
+    store: ParamStore,
+    prefix: str,
+    sequence: Tensor,
+    hidden_size: int,
+    backend: Backend = Backend.DEFAULT,
+) -> Tensor:
+    """Run a GRU layer over a [T x B x I] sequence; returns [T x B x H]."""
+    seq_len, batch, input_size = sequence.shape
+    cell = GruCell(store, prefix, input_size, hidden_size, backend)
+    h = cell.zero_state(batch)
+    outputs = []
+    for x_t in unstack_time(sequence):
+        h = cell.step(x_t, h)
+        outputs.append(O.expand_dims(h, 0))
+    return O.concat(outputs, axis=0)
+
+
+def rnn_scope():
+    """Profiler scope for RNN layers (breakdown figures group on it)."""
+    return scope("rnn")

@@ -1,0 +1,59 @@
+"""Operator library (DESIGN.md S2): numpy kernels, gradients, cost hooks.
+
+Importing this package also installs arithmetic operator overloads on
+:class:`repro.graph.Tensor`.
+"""
+
+from repro.ops.activation import relu, sigmoid, tanh
+from repro.ops.conv import conv2d
+from repro.ops.ctc import ctc_loss
+from repro.ops.dropout import dropout, set_global_step
+from repro.ops.elementwise import (
+    add,
+    add_scalar,
+    div,
+    exp,
+    log,
+    mul,
+    mul_scalar,
+    neg,
+    pow_scalar,
+    rsub_scalar,
+    sqrt,
+    sub,
+)
+from repro.ops.embedding import embedding
+from repro.ops.fused_rnn import lstm_gates
+from repro.ops.layernorm import layer_norm
+from repro.ops.loss import softmax_cross_entropy
+from repro.ops.matmul import batch_dot, fully_connected, matmul
+from repro.ops.reduce import reduce_max, reduce_mean, reduce_sum
+from repro.ops.sequence import sequence_reverse
+from repro.ops.shape_ops import (
+    broadcast_to,
+    concat,
+    expand_dims,
+    reshape,
+    slice_axis,
+    split,
+    transpose,
+)
+from repro.ops.softmax import softmax
+from repro.ops.source import constant, placeholder, variable, zeros
+
+from repro.ops import overloads as _overloads
+
+_overloads.install()
+
+__all__ = [
+    "add", "add_scalar", "sub", "mul", "mul_scalar", "div", "neg", "exp",
+    "log", "sqrt", "pow_scalar", "rsub_scalar",
+    "tanh", "sigmoid", "relu",
+    "matmul", "batch_dot", "fully_connected",
+    "reduce_sum", "reduce_mean", "reduce_max",
+    "reshape", "transpose", "slice_axis", "concat", "split",
+    "broadcast_to", "expand_dims",
+    "softmax", "layer_norm", "embedding", "sequence_reverse", "dropout",
+    "set_global_step", "lstm_gates", "softmax_cross_entropy", "conv2d", "ctc_loss",
+    "placeholder", "variable", "constant", "zeros",
+]

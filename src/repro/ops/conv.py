@@ -1,0 +1,205 @@
+"""2-D convolution via im2col (the DeepSpeech2 front-end needs it).
+
+Echo's second evaluation workload is an LSTM-based speech model whose
+front end is a small stack of 2-D convolutions over spectrograms. The
+kernels here follow the classic im2col formulation: forward is one patch
+unfold plus one GEMM, so the GPU cost model prices it as GEMM work (which
+is how cuDNN implements these shapes too). Convolutions are *not*
+recompute-cheap — like GEMMs, they are exactly what Echo refuses to
+re-execute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph import Node, Op, ShapeError, Tensor, TensorSpec, register
+
+
+def _out_dim(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+            ) -> np.ndarray:
+    """[N,C,H,W] -> [N, out_h, out_w, C*kh*kw] patch matrix."""
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    shape = (n, c, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0], x.strides[1],
+        x.strides[2] * stride, x.strides[3] * stride,
+        x.strides[2], x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape, strides)
+    # [N, out_h, out_w, C, kh, kw] -> flatten channel-kernel dims
+    return np.ascontiguousarray(
+        patches.transpose(0, 2, 3, 1, 4, 5)
+    ).reshape(n, out_h, out_w, c * kh * kw)
+
+
+def _col2im(cols: np.ndarray, x_shape, kh, kw, stride, pad) -> np.ndarray:
+    """Adjoint of _im2col: scatter-add patch gradients back to the image."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, out_h, out_w, c, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride,
+                   j:j + stride * out_w:stride] += cols6[:, :, :, :, i, j
+                                                         ].transpose(0, 3, 1, 2)
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2dOp(Op):
+    """y[N, O, H', W'] = conv(x[N, C, H, W], w[O, C, kh, kw]) + b[O]."""
+
+    name = "conv2d"
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        x, w = node.inputs[0], node.inputs[1]
+        if len(x.shape) != 4 or len(w.shape) != 4:
+            raise ShapeError(
+                f"conv2d needs NCHW input and OIHW weight, got {x.shape}, "
+                f"{w.shape}"
+            )
+        if x.shape[1] != w.shape[1]:
+            raise ShapeError(
+                f"conv2d channel mismatch: {x.shape[1]} vs {w.shape[1]}"
+            )
+        stride, pad = node.attrs["stride"], node.attrs["pad"]
+        out_h = _out_dim(x.shape[2], w.shape[2], stride, pad)
+        out_w = _out_dim(x.shape[3], w.shape[3], stride, pad)
+        if len(node.inputs) == 3 and node.inputs[2].shape != (w.shape[0],):
+            raise ShapeError("conv2d bias must be [out_channels]")
+        return [TensorSpec((x.shape[0], w.shape[0], out_h, out_w), x.dtype)]
+
+    def compute(self, node, inputs):
+        x, w = inputs[0], inputs[1]
+        stride, pad = node.attrs["stride"], node.attrs["pad"]
+        o, c, kh, kw = w.shape
+        cols = _im2col(x, kh, kw, stride, pad)  # [N,H',W',C*kh*kw]
+        out = cols @ w.reshape(o, -1).T  # [N,H',W',O]
+        if len(inputs) == 3:
+            out = out + inputs[2]
+        return [np.ascontiguousarray(
+            out.transpose(0, 3, 1, 2).astype(x.dtype)
+        )]
+
+    def gradient(self, node, out_grads):
+        (dy,) = out_grads
+        if dy is None:
+            return [None] * len(node.inputs)
+        x, w = node.inputs[0], node.inputs[1]
+        attrs = {"stride": node.attrs["stride"], "pad": node.attrs["pad"]}
+        dx = Node(_CONV2D_GRAD_X, [w, dy],
+                  {**attrs, "x_shape": x.shape}).out()
+        dw = Node(_CONV2D_GRAD_W, [x, dy],
+                  {**attrs, "w_shape": w.shape}).out()
+        grads = [dx, dw]
+        if len(node.inputs) == 3:
+            from repro.ops.reduce import reduce_sum
+            from repro.ops.shape_ops import reshape, transpose
+
+            o = w.shape[0]
+            total = dy.spec.num_elements // o
+            flat = reshape(transpose(dy, (1, 0, 2, 3)), (o, total))
+            grads.append(reduce_sum(flat, axis=1))
+        return grads
+
+    def gemm_dims(self, node: Node) -> tuple[int, int, int]:
+        x, w = node.inputs[0], node.inputs[1]
+        out = node.out_specs[0]
+        m = out.shape[0] * out.shape[2] * out.shape[3]  # N*H'*W'
+        n = w.shape[0]
+        k = w.shape[1] * w.shape[2] * w.shape[3]
+        return m, n, k
+
+    def flops(self, node: Node) -> int:
+        m, n, k = self.gemm_dims(node)
+        return 2 * m * n * k
+
+    def workspace_bytes(self, node: Node) -> int:
+        # The unfolded im2col patch matrix.
+        m, _n, k = self.gemm_dims(node)
+        return m * k * node.out_specs[0].dtype.itemsize
+
+
+class Conv2dGradXOp(Op):
+    """dx from (w, dy) — transposed convolution via col2im."""
+
+    name = "conv2d_grad_x"
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        return [TensorSpec(tuple(node.attrs["x_shape"]),
+                           node.inputs[1].dtype)]
+
+    def compute(self, node, inputs):
+        w, dy = inputs
+        o, c, kh, kw = w.shape
+        stride, pad = node.attrs["stride"], node.attrs["pad"]
+        dy_cols = dy.transpose(0, 2, 3, 1)  # [N,H',W',O]
+        dcols = dy_cols @ w.reshape(o, -1)  # [N,H',W',C*kh*kw]
+        dx = _col2im(dcols, node.attrs["x_shape"], kh, kw, stride, pad)
+        return [dx.astype(dy.dtype)]
+
+    def flops(self, node: Node) -> int:
+        return 2 * node.inputs[1].spec.num_elements * (
+            node.inputs[0].spec.num_elements // node.inputs[0].shape[0]
+        )
+
+
+class Conv2dGradWOp(Op):
+    """dw from (x, dy)."""
+
+    name = "conv2d_grad_w"
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        return [TensorSpec(tuple(node.attrs["w_shape"]),
+                           node.inputs[0].dtype)]
+
+    def compute(self, node, inputs):
+        x, dy = inputs
+        o, c, kh, kw = node.attrs["w_shape"]
+        stride, pad = node.attrs["stride"], node.attrs["pad"]
+        cols = _im2col(x, kh, kw, stride, pad)  # [N,H',W',C*kh*kw]
+        dy_flat = dy.transpose(0, 2, 3, 1).reshape(-1, o)  # [NHW',O]
+        dw = dy_flat.T @ cols.reshape(-1, c * kh * kw)
+        return [dw.reshape(o, c, kh, kw).astype(x.dtype)]
+
+    def flops(self, node: Node) -> int:
+        o = node.attrs["w_shape"][0]
+        per = int(np.prod(node.attrs["w_shape"][1:]))
+        return 2 * (node.inputs[1].spec.num_elements // o) * o * per
+
+
+_CONV2D = register(Conv2dOp())
+_CONV2D_GRAD_X = register(Conv2dGradXOp())
+_CONV2D_GRAD_W = register(Conv2dGradWOp())
+
+
+def conv2d(
+    x: Tensor,
+    w: Tensor,
+    b: Tensor | None = None,
+    stride: int = 1,
+    pad: int = 0,
+) -> Tensor:
+    """2-D convolution; ``x`` is NCHW, ``w`` is OIHW."""
+    inputs = [x, w] if b is None else [x, w, b]
+    return Node(_CONV2D, inputs, {"stride": int(stride), "pad": int(pad)}).out()

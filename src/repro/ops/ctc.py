@@ -1,0 +1,210 @@
+"""Connectionist Temporal Classification loss (speech recognition head).
+
+The DeepSpeech2-style workload trains with CTC: the model emits a label
+distribution (including a *blank*) per frame, and the loss marginalizes
+over all alignments of the (shorter) transcript to the frames via the
+forward-backward recursion. Both the forward (log-alpha) and the exact
+gradient (via log-beta and posterior collection) run in log space for
+stability; the gradient is checked numerically in the test suite.
+
+Conventions: blank id = 0; logits are [T x B x V]; labels are [B x L]
+padded with -1; per-sample sequence lengths may be shorter than T/L.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph import Node, Op, ShapeError, Tensor, TensorSpec, register
+
+BLANK = 0
+_NEG_INF = -1e30
+
+
+def _log_softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def _expand_labels(labels: np.ndarray) -> np.ndarray:
+    """l1 l2 ... -> blank l1 blank l2 ... blank (length 2L+1)."""
+    length = len(labels)
+    expanded = np.full(2 * length + 1, BLANK, np.int64)
+    expanded[1::2] = labels
+    return expanded
+
+
+def _ctc_alpha_beta(log_probs: np.ndarray, labels: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, float]:
+    """Forward/backward lattices for one sample.
+
+    ``log_probs`` is [T x V] (log-softmaxed); ``labels`` the un-expanded
+    transcript. Returns (log_alpha, log_beta, log_likelihood), lattices
+    shaped [T x 2L+1].
+    """
+    seq = _expand_labels(labels)
+    t_len, _ = log_probs.shape
+    s_len = len(seq)
+    if s_len > 2 * t_len + 1:
+        raise ValueError(
+            f"transcript of length {len(labels)} cannot align to "
+            f"{t_len} frames"
+        )
+
+    def can_skip(s: int) -> bool:
+        """Transition s-2 -> s allowed when seq[s] is a label differing
+        from the previous label (standard CTC topology)."""
+        return (
+            s >= 2 and seq[s] != BLANK and seq[s] != seq[s - 2]
+        )
+
+    alpha = np.full((t_len, s_len), _NEG_INF)
+    alpha[0, 0] = log_probs[0, seq[0]]
+    if s_len > 1:
+        alpha[0, 1] = log_probs[0, seq[1]]
+    for t in range(1, t_len):
+        for s in range(s_len):
+            best = alpha[t - 1, s]
+            if s >= 1:
+                best = np.logaddexp(best, alpha[t - 1, s - 1])
+            if can_skip(s):
+                best = np.logaddexp(best, alpha[t - 1, s - 2])
+            alpha[t, s] = best + log_probs[t, seq[s]]
+
+    beta = np.full((t_len, s_len), _NEG_INF)
+    beta[-1, -1] = 0.0
+    if s_len > 1:
+        beta[-1, -2] = 0.0
+    for t in range(t_len - 2, -1, -1):
+        for s in range(s_len):
+            best = beta[t + 1, s] + log_probs[t + 1, seq[s]]
+            if s + 1 < s_len:
+                best = np.logaddexp(
+                    best, beta[t + 1, s + 1] + log_probs[t + 1, seq[s + 1]]
+                )
+            if s + 2 < s_len and can_skip(s + 2):
+                best = np.logaddexp(
+                    best, beta[t + 1, s + 2] + log_probs[t + 1, seq[s + 2]]
+                )
+            beta[t, s] = best
+
+    log_likelihood = alpha[-1, -1]
+    if s_len > 1:
+        log_likelihood = np.logaddexp(log_likelihood, alpha[-1, -2])
+    return alpha, beta, float(log_likelihood)
+
+
+def _ctc_sample_grad(log_probs: np.ndarray, labels: np.ndarray
+                     ) -> tuple[float, np.ndarray]:
+    """(negative log-likelihood, d nll / d logits) for one sample."""
+    alpha, beta, log_like = _ctc_alpha_beta(log_probs, labels)
+    seq = _expand_labels(labels)
+    t_len, vocab = log_probs.shape
+    # Posterior over lattice states, folded per vocabulary symbol.
+    gamma = alpha + beta  # [T x S], log p(path through (t,s), transcript)
+    grad = np.exp(log_probs)  # softmax(logits): d nll/d logits baseline
+    occupancy = np.zeros((t_len, vocab))
+    log_occ = np.full((t_len, vocab), _NEG_INF)
+    for s, symbol in enumerate(seq):
+        log_occ[:, symbol] = np.logaddexp(log_occ[:, symbol], gamma[:, s])
+    occupancy = np.exp(log_occ - log_like)
+    grad -= occupancy
+    return -log_like, grad
+
+
+class CtcLossOp(Op):
+    """Mean CTC negative log-likelihood over the batch.
+
+    Inputs: logits [T x B x V], labels [B x L] (-1 padded). The per-frame
+    log-softmax happens inside the kernel, as framework CTC ops do.
+    """
+
+    name = "ctc_loss"
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        logits, labels = node.inputs
+        if len(logits.shape) != 3:
+            raise ShapeError(f"CTC logits must be [T x B x V], got "
+                             f"{logits.shape}")
+        if len(labels.shape) != 2 or labels.shape[0] != logits.shape[1]:
+            raise ShapeError(
+                f"CTC labels must be [B x L] with B={logits.shape[1]}, "
+                f"got {labels.shape}"
+            )
+        if not np.issubdtype(labels.dtype, np.integer):
+            raise TypeError("CTC labels must be integers")
+        return [TensorSpec((), logits.dtype)]
+
+    def compute(self, node, inputs):
+        logits, labels = inputs
+        loss, _ = _ctc_batch(logits, labels)
+        return [np.asarray(loss, dtype=node.out_specs[0].dtype)]
+
+    def gradient(self, node, out_grads):
+        (dloss,) = out_grads
+        if dloss is None:
+            return [None, None]
+        logits, labels = node.inputs
+        dx = Node(_CTC_LOSS_GRAD, [logits, labels, dloss]).out()
+        return [dx, None]
+
+    def launch_count(self, node: Node) -> int:
+        return 4  # softmax + alpha + beta + collect
+
+    def flops(self, node: Node) -> int:
+        t, b, _v = node.inputs[0].shape
+        s = 2 * node.inputs[1].shape[1] + 1
+        return 10 * t * b * s
+
+
+class CtcLossGradOp(Op):
+    """dlogits via the forward-backward posterior."""
+
+    name = "ctc_loss_grad"
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        logits = node.inputs[0]
+        return [TensorSpec(logits.shape, logits.dtype)]
+
+    def compute(self, node, inputs):
+        logits, labels, dloss = inputs
+        _, grad = _ctc_batch(logits, labels)
+        return [np.asarray(grad * np.float64(dloss),
+                           dtype=logits.dtype)]
+
+    def flops(self, node: Node) -> int:
+        t, b, _v = node.inputs[0].shape
+        s = 2 * node.inputs[1].shape[1] + 1
+        return 10 * t * b * s
+
+
+def _ctc_batch(logits: np.ndarray, labels: np.ndarray
+               ) -> tuple[float, np.ndarray]:
+    t_len, batch, _vocab = logits.shape
+    log_probs = _log_softmax(logits.astype(np.float64))
+    total = 0.0
+    grad = np.zeros_like(log_probs)
+    for b in range(batch):
+        transcript = labels[b]
+        transcript = transcript[transcript >= 0]
+        if len(transcript) == 0:
+            # Empty transcript: the only path is all-blank.
+            nll = -log_probs[:, b, BLANK].sum()
+            g = np.exp(log_probs[:, b])
+            g[:, BLANK] -= 1.0
+        else:
+            nll, g = _ctc_sample_grad(log_probs[:, b], transcript)
+        total += nll
+        grad[:, b] = g
+    return total / batch, grad / batch
+
+
+_CTC_LOSS = register(CtcLossOp())
+_CTC_LOSS_GRAD = register(CtcLossGradOp())
+
+
+def ctc_loss(logits: Tensor, labels: Tensor) -> Tensor:
+    """Mean CTC loss; see :class:`CtcLossOp` for conventions."""
+    return Node(_CTC_LOSS, [logits, labels]).out()

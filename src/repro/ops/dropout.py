@@ -1,0 +1,70 @@
+"""Inverted dropout with a counter-based deterministic mask.
+
+The mask is regenerated from ``(seed, step)`` rather than stashed state, so
+a mirrored (recomputed) dropout node produces a bit-identical mask — the
+property Echo needs to guarantee recomputation never changes training
+numerics. The executor bumps ``step`` once per iteration via
+:func:`set_global_step`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph import Node, Op, Tensor, TensorSpec, register
+
+_GLOBAL_STEP = 0
+
+
+def set_global_step(step: int) -> None:
+    """Advance the dropout RNG stream; called once per training iteration."""
+    global _GLOBAL_STEP
+    _GLOBAL_STEP = int(step)
+
+
+def _mask(node: Node, shape: tuple[int, ...]) -> np.ndarray:
+    rng = np.random.default_rng((node.attrs["seed"], _GLOBAL_STEP))
+    keep = 1.0 - node.attrs["p"]
+    return (rng.random(shape) < keep).astype(np.float32) / np.float32(keep)
+
+
+class DropoutOp(Op):
+    """Outputs (y, mask); mask is stashed for backward unless recomputed."""
+
+    name = "dropout"
+    recompute_cheap = True
+
+    def num_outputs(self, node: Node) -> int:
+        return 2
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        (x,) = node.inputs
+        return [TensorSpec(x.shape, x.dtype), TensorSpec(x.shape, x.dtype)]
+
+    def compute(self, node, inputs):
+        (x,) = inputs
+        if node.attrs["p"] <= 0.0:
+            mask = np.ones_like(x)
+        else:
+            mask = _mask(node, x.shape)
+        return [np.asarray(x * mask, dtype=x.dtype), mask]
+
+    def gradient(self, node, out_grads):
+        from repro.ops.elementwise import mul
+
+        dy = out_grads[0]
+        if dy is None:
+            return [None]
+        return [mul(dy, node.out(1))]
+
+
+_DROPOUT = register(DropoutOp())
+
+
+def dropout(x: Tensor, p: float, seed: int = 0) -> Tensor:
+    """Apply inverted dropout with drop probability ``p``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    return Node(_DROPOUT, [x], {"p": float(p), "seed": int(seed)}).out(0)

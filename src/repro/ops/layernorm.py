@@ -1,0 +1,120 @@
+"""Layer normalization over the last axis, with learnable gain and bias.
+
+Layer norm is one of the three components of the attention scoring function
+(broadcast add + layer norm + tanh) that the paper identifies as the
+O-shape region: its [B x T x H] outputs get stashed per decoder step in the
+legacy backward pass, and it is cheap enough to recompute that Echo mirrors
+it into the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph import Node, Op, ShapeError, Tensor, TensorSpec, register
+
+_EPS = 1e-5
+
+
+class LayerNormOp(Op):
+    """y = gamma * (x - mean) / sqrt(var + eps) + beta over the last axis.
+
+    Outputs: (y, mean, rstd). mean/rstd are tiny ([... x 1]) but needed by
+    the backward kernel — faithfully modeling cuDNN/MXNet which stash them.
+    """
+
+    name = "layer_norm"
+    recompute_cheap = True
+
+    def num_outputs(self, node: Node) -> int:
+        return 3
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        x, gamma, beta = node.inputs
+        h = x.shape[-1]
+        if gamma.shape != (h,) or beta.shape != (h,):
+            raise ShapeError(
+                f"layer_norm gain/bias must be ({h},), got {gamma.shape}, "
+                f"{beta.shape}"
+            )
+        stat_shape = x.shape[:-1] + (1,)
+        return [
+            TensorSpec(x.shape, x.dtype),
+            TensorSpec(stat_shape, x.dtype),
+            TensorSpec(stat_shape, x.dtype),
+        ]
+
+    def compute(self, node, inputs):
+        x, gamma, beta = inputs
+        mean = np.mean(x, axis=-1, keepdims=True)
+        var = np.var(x, axis=-1, keepdims=True)
+        rstd = 1.0 / np.sqrt(var + _EPS)
+        y = gamma * (x - mean) * rstd + beta
+        dtype = node.out_specs[0].dtype
+        return [
+            np.asarray(y, dtype=dtype),
+            np.asarray(mean, dtype=dtype),
+            np.asarray(rstd, dtype=dtype),
+        ]
+
+    def gradient(self, node, out_grads):
+        dy = out_grads[0]
+        if dy is None:
+            return [None, None, None]
+        x, gamma, _beta = node.inputs
+        grad_node = Node(
+            _LAYER_NORM_GRAD,
+            [x, gamma, node.out(1), node.out(2), dy],
+        )
+        return [grad_node.out(0), grad_node.out(1), grad_node.out(2)]
+
+
+class LayerNormGradOp(Op):
+    """Fused backward producing (dx, dgamma, dbeta)."""
+
+    name = "layer_norm_grad"
+    recompute_cheap = True
+
+    def num_outputs(self, node: Node) -> int:
+        return 3
+
+    def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
+        x, gamma = node.inputs[0], node.inputs[1]
+        return [
+            TensorSpec(x.shape, x.dtype),
+            TensorSpec(gamma.shape, x.dtype),
+            TensorSpec(gamma.shape, x.dtype),
+        ]
+
+    def compute(self, node, inputs):
+        x, gamma, mean, rstd, dy = inputs
+        h = x.shape[-1]
+        xhat = (x - mean) * rstd
+        dxhat = dy * gamma
+        # Standard layer-norm backward identities.
+        dx = rstd * (
+            dxhat
+            - np.mean(dxhat, axis=-1, keepdims=True)
+            - xhat * np.mean(dxhat * xhat, axis=-1, keepdims=True)
+        )
+        reduce_axes = tuple(range(x.ndim - 1))
+        dgamma = np.sum(dy * xhat, axis=reduce_axes)
+        dbeta = np.sum(dy, axis=reduce_axes)
+        dtype = x.dtype
+        del h
+        return [
+            np.asarray(dx, dtype=dtype),
+            np.asarray(dgamma, dtype=dtype),
+            np.asarray(dbeta, dtype=dtype),
+        ]
+
+
+_LAYER_NORM = register(LayerNormOp())
+_LAYER_NORM_GRAD = register(LayerNormGradOp())
+
+
+def layer_norm(x: Tensor, gamma: Tensor, beta: Tensor) -> Tensor:
+    """Normalized output only; stats outputs are wired to backward."""
+    return Node(_LAYER_NORM, [x, gamma, beta]).out(0)

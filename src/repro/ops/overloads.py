@@ -1,0 +1,43 @@
+"""Install arithmetic operator overloads on :class:`repro.graph.Tensor`.
+
+Kept separate from the IR to avoid an import cycle: the IR must not depend
+on the operator library. Importing :mod:`repro.ops` wires these up.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.graph import Tensor
+from repro.ops import elementwise as ew
+from repro.ops.matmul import matmul as _matmul
+
+
+def _binary(tensor_fn, scalar_fn):
+    def method(self: Tensor, other):
+        if tensor_fn is not None and isinstance(other, Tensor):
+            return tensor_fn(self, other)
+        if scalar_fn is not None and isinstance(other, numbers.Number):
+            return scalar_fn(self, float(other))
+        return NotImplemented
+
+    return method
+
+
+def install() -> None:
+    Tensor.__add__ = _binary(ew.add, ew.add_scalar)
+    Tensor.__radd__ = Tensor.__add__
+    Tensor.__sub__ = _binary(ew.sub, lambda x, c: ew.add_scalar(x, -c))
+    Tensor.__rsub__ = _binary(lambda a, b: ew.sub(b, a), ew.rsub_scalar)
+    Tensor.__mul__ = _binary(ew.mul, ew.mul_scalar)
+    Tensor.__rmul__ = Tensor.__mul__
+    Tensor.__truediv__ = _binary(
+        ew.div, lambda x, c: ew.mul_scalar(x, 1.0 / c)
+    )
+    Tensor.__rtruediv__ = _binary(
+        lambda a, b: ew.div(b, a),
+        lambda x, c: ew.mul_scalar(ew.pow_scalar(x, -1.0), c),
+    )
+    Tensor.__neg__ = ew.neg
+    Tensor.__matmul__ = _binary(_matmul, None)
+    Tensor.__pow__ = _binary(None, ew.pow_scalar)

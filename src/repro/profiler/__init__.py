@@ -1,0 +1,27 @@
+"""Memory & runtime profilers (DESIGN.md S6): MXNet-profiler/nvprof stand-ins."""
+
+from repro.profiler.memory import (
+    CUDA_CONTEXT_BYTES,
+    MemoryReport,
+    profile_memory,
+)
+from repro.profiler.timeline import compare_timelines, format_timeline, sparkline
+from repro.profiler.runtime import (
+    RuntimeReport,
+    dram_transactions,
+    kernel_family,
+    profile_runtime,
+)
+
+__all__ = [
+    "MemoryReport",
+    "profile_memory",
+    "CUDA_CONTEXT_BYTES",
+    "RuntimeReport",
+    "profile_runtime",
+    "kernel_family",
+    "dram_transactions",
+    "format_timeline",
+    "compare_timelines",
+    "sparkline",
+]

@@ -1,0 +1,137 @@
+"""Memory profiler: the paper's Figure 5/14 breakdown reports.
+
+Builds on the runtime memory plan and adds the pieces the plan cannot see:
+
+* optimizer state (the paper's "Weights" bar includes parameter gradients
+  and optimizer state — Adam keeps two extra copies per parameter);
+* the *untrackable* gap between what the framework profiler accounts for
+  and what nvidia-smi reports (CUDA context, cuDNN handles, allocator
+  fragmentation) — the striped bar at the bottom of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.memory import Category, MemoryPlan
+
+#: CUDA context + library handles resident on the device (bytes).
+CUDA_CONTEXT_BYTES = 420 * 1024**2
+#: Fraction of tracked memory lost to pool fragmentation.
+FRAGMENTATION_FRACTION = 0.06
+
+#: Extra copies of every parameter the optimizer keeps.
+OPTIMIZER_STATE_COPIES = {"sgd": 0.0, "momentum": 1.0, "adam": 2.0}
+
+
+@dataclass
+class MemoryReport:
+    """Peak-footprint breakdown of one training iteration."""
+
+    #: the paper's data-structure categories, bytes at peak
+    placeholders: int
+    weights: int
+    feature_maps: int
+    workspace: int
+    untrackable: int
+    #: bytes at peak grouped by top-level scope (layer type)
+    by_layer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def tracked_bytes(self) -> int:
+        return (
+            self.placeholders + self.weights + self.feature_maps + self.workspace
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """What nvidia-smi would report."""
+        return self.tracked_bytes + self.untrackable
+
+    def by_data_structure(self) -> dict[str, int]:
+        return {
+            "placeholders": self.placeholders,
+            "weights": self.weights,
+            "feature_maps": self.feature_maps,
+            "workspace": self.workspace,
+            "untrackable": self.untrackable,
+        }
+
+    def fraction(self, key: str) -> float:
+        return self.by_data_structure()[key] / self.total_bytes
+
+    def format(self, title: str = "memory breakdown") -> str:
+        lines = [f"== {title} (peak) =="]
+        total = self.total_bytes
+        for name, nbytes in self.by_data_structure().items():
+            lines.append(
+                f"  {name:<14} {nbytes / 2**20:9.1f} MiB  "
+                f"({100.0 * nbytes / total:5.1f}%)"
+            )
+        lines.append(f"  {'total':<14} {total / 2**20:9.1f} MiB")
+        if self.by_layer:
+            lines.append("  -- by layer type --")
+            for layer, nbytes in sorted(
+                self.by_layer.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(
+                    f"  {layer:<14} {nbytes / 2**20:9.1f} MiB  "
+                    f"({100.0 * nbytes / total:5.1f}%)"
+                )
+        return "\n".join(lines)
+
+
+def profile_memory(
+    plan: MemoryPlan,
+    optimizer: str = "adam",
+    include_untrackable: bool = True,
+) -> MemoryReport:
+    """Produce the paper-style breakdown from a memory plan."""
+    peak = plan.peak_by_category
+    weight_bytes = peak.get(Category.WEIGHT, 0)
+    grad_bytes = peak.get(Category.GRADIENT, 0)
+    try:
+        opt_copies = OPTIMIZER_STATE_COPIES[optimizer]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; "
+            f"expected one of {sorted(OPTIMIZER_STATE_COPIES)}"
+        ) from None
+    opt_bytes = int(weight_bytes * opt_copies)
+
+    # Parameter gradients exist for the whole iteration in frameworks
+    # (write-to gradient arrays), even if liveness says they appear late.
+    if grad_bytes < weight_bytes:
+        grad_bytes = weight_bytes
+
+    weights_total = weight_bytes + grad_bytes + opt_bytes
+    placeholders = peak.get(Category.PLACEHOLDER, 0)
+    feature_maps = peak.get(Category.FEATURE_MAP, 0)
+    # Workspace comes from a pooled arena that persists once grown (both
+    # kernel scratch and Echo's recompute buffers), so the report carries
+    # its high-water mark, not the boundary-instant snapshot.
+    workspace = max(
+        peak.get(Category.WORKSPACE, 0),
+        plan.max_by_category.get(Category.WORKSPACE, 0),
+    )
+
+    tracked = placeholders + weights_total + feature_maps + workspace
+    untrackable = 0
+    if include_untrackable:
+        untrackable = CUDA_CONTEXT_BYTES + int(tracked * FRAGMENTATION_FRACTION)
+
+    by_layer = plan.scope_breakdown(depth=1)
+    # Attribute optimizer state and the gradient floor to the layers'
+    # weight owners proportionally; keep it simple: add under "(optimizer)".
+    extra = (grad_bytes - peak.get(Category.GRADIENT, 0)) + opt_bytes
+    if extra:
+        by_layer["(optimizer)"] = by_layer.get("(optimizer)", 0) + extra
+
+    return MemoryReport(
+        placeholders=placeholders,
+        weights=weights_total,
+        feature_maps=feature_maps,
+        workspace=workspace,
+        untrackable=untrackable,
+        by_layer=by_layer,
+    )

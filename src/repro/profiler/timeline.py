@@ -1,0 +1,71 @@
+"""ASCII footprint-timeline rendering.
+
+Visualizes a memory plan's live-bytes curve over the schedule — the
+characteristic training sawtooth: memory ramps through the forward pass
+(stash accumulation), peaks at the forward/backward boundary, and drains
+through the backward pass. After Echo, the ramp flattens and the peak
+drops; seeing the two curves side by side is the fastest way to sanity-
+check a rewrite.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.memory import MemoryPlan
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[int], width: int = 72) -> str:
+    """Downsample ``values`` to ``width`` columns of unicode bars."""
+    if not values:
+        return ""
+    if len(values) > width:
+        bucket = len(values) / width
+        sampled = [
+            max(values[int(i * bucket):max(int((i + 1) * bucket),
+                                           int(i * bucket) + 1)])
+            for i in range(width)
+        ]
+    else:
+        sampled = list(values)
+    top = max(sampled) or 1
+    return "".join(_BARS[round(v / top * (len(_BARS) - 1))] for v in sampled)
+
+
+def format_timeline(plan: MemoryPlan, width: int = 72,
+                    label: str = "footprint") -> str:
+    """Render the plan's live-bytes curve with peak annotations."""
+    line = sparkline(plan.timeline, width)
+    peak_mib = plan.peak_bytes / 2**20
+    frac = plan.peak_step / max(len(plan.timeline) - 1, 1)
+    marker_pos = min(int(frac * len(line)), len(line) - 1) if line else 0
+    marker = " " * marker_pos + "^peak"
+    return (
+        f"{label}: peak {peak_mib:.1f} MiB at step {plan.peak_step}"
+        f"/{len(plan.timeline)}\n|{line}|\n {marker}"
+    )
+
+
+def compare_timelines(before: MemoryPlan, after: MemoryPlan,
+                      width: int = 72) -> str:
+    """Before/after curves on a shared byte scale."""
+    top = max(before.peak_bytes, after.peak_bytes) or 1
+
+    # Rendered manually (not via sparkline) so both lines share one
+    # vertical scale.
+    def render(plan: MemoryPlan, label: str) -> str:
+        if len(plan.timeline) > width:
+            bucket = len(plan.timeline) / width
+            sampled = [
+                max(plan.timeline[int(i * bucket):max(
+                    int((i + 1) * bucket), int(i * bucket) + 1)])
+                for i in range(width)
+            ]
+        else:
+            sampled = list(plan.timeline)
+        bars = "".join(
+            _BARS[round(v / top * (len(_BARS) - 1))] for v in sampled
+        )
+        return f"|{bars}| {label}: {plan.peak_bytes / 2**20:.1f} MiB peak"
+
+    return "\n".join([render(before, "before"), render(after, "after")])

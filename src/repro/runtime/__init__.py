@@ -1,0 +1,35 @@
+"""Execution substrate: scheduler, memory planner, executor (DESIGN.md S4)."""
+
+from repro.runtime.executor import (
+    ExecutionError,
+    GraphExecutor,
+    NodeTiming,
+    RunResult,
+    TrainingExecutor,
+)
+from repro.runtime.memory import (
+    Category,
+    MemoryPlan,
+    TensorLifetime,
+    plan_memory,
+)
+from repro.runtime.pool import PoolStats, round_up, simulate_pool
+from repro.runtime.scheduler import SchedulingError, schedule, validate_schedule
+
+__all__ = [
+    "schedule",
+    "validate_schedule",
+    "SchedulingError",
+    "Category",
+    "MemoryPlan",
+    "TensorLifetime",
+    "plan_memory",
+    "GraphExecutor",
+    "TrainingExecutor",
+    "RunResult",
+    "NodeTiming",
+    "ExecutionError",
+    "simulate_pool",
+    "PoolStats",
+    "round_up",
+]

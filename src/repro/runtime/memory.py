@@ -1,0 +1,220 @@
+"""Liveness analysis and the simulated GPU memory allocator.
+
+This is the reproduction's stand-in for the MXNet memory planner plus the
+MXNet GPU memory profiler the paper uses for its breakdown figures. Given a
+schedule it computes, without executing anything:
+
+* per-tensor lifetime (allocation step, last-use step),
+* per-tensor category (the paper's four data-structure classes),
+* the footprint timeline and its peak, overall and per category,
+* the workspace pool high-water mark (workspace is acquired per node and
+  returned to a pool, so sequential consumers — e.g. the recompute
+  subgraphs of successive attention timesteps — share one arena; this is
+  the Section 4.1 workspace-sharing argument, and it falls out of the pool
+  model naturally).
+
+Categories follow the paper's Section 3.2 taxonomy:
+
+* ``PLACEHOLDER`` — per-iteration inputs, plus short-lived layer in/out
+  buffers that never cross the forward/backward boundary;
+* ``WEIGHT`` / ``GRADIENT`` — parameters and their gradients (the paper's
+  "Weights" bar also folds in optimizer state, which the profiler adds);
+* ``FEATURE_MAP`` — forward tensors kept alive for the backward pass;
+* ``WORKSPACE`` — kernel scratch plus outputs of mirrored recompute nodes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+from repro.graph import Node, Stage, Tensor
+
+TensorKey = tuple[int, int]
+
+
+class Category(Enum):
+    PLACEHOLDER = "placeholder"
+    WEIGHT = "weight"
+    GRADIENT = "gradient"
+    FEATURE_MAP = "feature_map"
+    WORKSPACE = "workspace"
+
+    def __lt__(self, other: "Category") -> bool:  # stable report ordering
+        order = list(Category)
+        return order.index(self) < order.index(other)
+
+
+@dataclass(frozen=True)
+class TensorLifetime:
+    """Where a tensor lives in the schedule and what it is."""
+
+    key: TensorKey
+    nbytes: int
+    category: Category
+    alloc_step: int
+    free_step: int  # exclusive: freed after this step completes
+    scope: str
+
+
+@dataclass
+class MemoryPlan:
+    """Full footprint analysis of one scheduled training iteration."""
+
+    order: list[Node]
+    lifetimes: dict[TensorKey, TensorLifetime]
+    #: bytes live after each step (including pool high-water so far)
+    timeline: list[int]
+    peak_bytes: int
+    peak_step: int
+    #: live bytes per category at the peak step
+    peak_by_category: dict[Category, int]
+    workspace_pool_hwm: int
+    #: maximum concurrent bytes per category anywhere in the timeline
+    max_by_category: dict[Category, int] = field(default_factory=dict)
+
+    def category_bytes(self, category: Category) -> int:
+        return self.peak_by_category.get(category, 0)
+
+    def scope_breakdown(self, depth: int = 1) -> dict[str, int]:
+        """Bytes live at the peak step grouped by scope prefix.
+
+        Mirrors the paper's by-layer-type breakdown (Figure 5 left bar).
+        """
+        result: dict[str, int] = defaultdict(int)
+        for life in self.lifetimes.values():
+            if life.alloc_step <= self.peak_step <= life.free_step:
+                prefix = "/".join(life.scope.split("/")[:depth]) or "(root)"
+                result[prefix] += life.nbytes
+        return dict(result)
+
+
+def _category_of(
+    node: Node,
+    out_index: int,
+    last_consumer_stage: Stage | None,
+    pinned: Mapping[TensorKey, Category],
+) -> Category:
+    key = (node.uid, out_index)
+    if key in pinned:
+        return pinned[key]
+    if node.op.name == "placeholder":
+        return Category.PLACEHOLDER
+    if node.op.name == "variable":
+        return Category.WEIGHT
+    if node.stage is Stage.RECOMPUTE:
+        return Category.WORKSPACE
+    if node.stage is Stage.FORWARD:
+        if last_consumer_stage in (Stage.BACKWARD, Stage.RECOMPUTE):
+            return Category.FEATURE_MAP
+        return Category.PLACEHOLDER  # short-lived layer in/out buffer
+    return Category.PLACEHOLDER  # backward temporaries
+
+
+def plan_memory(
+    order: Sequence[Node],
+    outputs: Iterable[Tensor],
+    pinned_categories: Mapping[TensorKey, Category] | None = None,
+) -> MemoryPlan:
+    """Compute liveness, categories, and the footprint timeline.
+
+    ``outputs`` are kept alive to the end of the iteration. ``pinned_categories``
+    overrides the category of specific tensors (the training executor pins
+    final parameter gradients as ``GRADIENT``).
+    """
+    pinned = dict(pinned_categories or {})
+    position = {n.uid: i for i, n in enumerate(order)}
+    num_steps = len(order)
+    output_keys = {t.key for t in outputs}
+
+    last_use: dict[TensorKey, int] = {}
+    last_stage: dict[TensorKey, Stage] = {}
+    for node in order:
+        for t in node.inputs:
+            step = position[node.uid]
+            if last_use.get(t.key, -1) < step:
+                last_use[t.key] = step
+                last_stage[t.key] = node.stage
+
+    lifetimes: dict[TensorKey, TensorLifetime] = {}
+    for node in order:
+        for i, spec in enumerate(node.out_specs):
+            key = (node.uid, i)
+            alloc = position[node.uid]
+            if key in output_keys or node.op.name in ("placeholder", "variable"):
+                free = num_steps - 1
+            else:
+                free = last_use.get(key, alloc)
+            category = _category_of(node, i, last_stage.get(key), pinned)
+            lifetimes[key] = TensorLifetime(
+                key=key,
+                nbytes=spec.nbytes,
+                category=category,
+                alloc_step=alloc,
+                free_step=free,
+                scope=node.scope,
+            )
+
+    # Sweep the timeline.
+    alloc_at: dict[int, list[TensorLifetime]] = defaultdict(list)
+    free_after: dict[int, list[TensorLifetime]] = defaultdict(list)
+    for life in lifetimes.values():
+        alloc_at[life.alloc_step].append(life)
+        free_after[life.free_step].append(life)
+
+    live_by_cat: dict[Category, int] = defaultdict(int)
+    pool_hwm = 0
+    timeline: list[int] = []
+    peak_bytes = -1
+    peak_step = 0
+    peak_by_category: dict[Category, int] = {}
+    max_by_category: dict[Category, int] = defaultdict(int)
+
+    for step, node in enumerate(order):
+        for life in alloc_at[step]:
+            live_by_cat[life.category] += life.nbytes
+        ws = node.op.workspace_bytes(node)
+        pool_hwm = max(pool_hwm, ws)
+
+        live = sum(live_by_cat.values()) + pool_hwm
+        timeline.append(live)
+        for cat, nbytes in live_by_cat.items():
+            if nbytes > max_by_category[cat]:
+                max_by_category[cat] = nbytes
+        if live > peak_bytes:
+            peak_bytes = live
+            peak_step = step
+            peak_by_category = dict(live_by_cat)
+            peak_by_category[Category.WORKSPACE] = (
+                peak_by_category.get(Category.WORKSPACE, 0) + pool_hwm
+            )
+
+        for life in free_after[step]:
+            live_by_cat[life.category] -= life.nbytes
+
+    leftover = {c: b for c, b in live_by_cat.items() if b}
+    expected = {
+        life.category
+        for life in lifetimes.values()
+        if life.free_step == num_steps - 1
+    }
+    # Everything still live at the end must be a pinned/output category.
+    for cat in leftover:
+        if cat not in expected:
+            raise AssertionError(f"allocator leak in category {cat}")
+
+    max_by_category[Category.WORKSPACE] = (
+        max_by_category.get(Category.WORKSPACE, 0) + pool_hwm
+    )
+    return MemoryPlan(
+        order=list(order),
+        lifetimes=lifetimes,
+        timeline=timeline,
+        peak_bytes=peak_bytes,
+        peak_step=peak_step,
+        peak_by_category=peak_by_category,
+        workspace_pool_hwm=pool_hwm,
+        max_by_category=dict(max_by_category),
+    )

@@ -1,0 +1,139 @@
+"""Pooled GPU storage-manager simulation (MXNet's allocator).
+
+The runtime's liveness plan gives the *ideal* footprint: bytes live at the
+worst instant. Real frameworks allocate through a caching pool: freed
+buffers go to per-size-class free lists and are only reused by requests
+that fit the same class, so the device-visible footprint exceeds the ideal
+by rounding waste and pool fragmentation — the bulk of the paper's
+"untrackable" gap between the memory profiler and nvidia-smi (Figure 5's
+striped bar, attributed to "memory fragmentation or allocations by CUDA
+libraries").
+
+``simulate_pool`` replays a memory plan's allocation trace through such a
+pool and reports what nvidia-smi would see. ``profile_memory`` uses the
+fixed-fraction approximation by default; benchmarks that care (and the
+fragmentation test suite) call this directly.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.runtime.memory import MemoryPlan
+
+#: Allocation granularity: pools round requests up to a multiple of this
+#: (cudaMalloc alignment and the pool's page size).
+PAGE_BYTES = 4096
+
+
+def round_up(nbytes: int, page: int = PAGE_BYTES) -> int:
+    """Size class of a request: next multiple of the page size."""
+    if nbytes <= 0:
+        return 0
+    return ((nbytes + page - 1) // page) * page
+
+
+@dataclass
+class PoolStats:
+    """Device-visible memory of one simulated iteration."""
+
+    ideal_peak_bytes: int  # liveness lower bound
+    reserved_bytes: int  # what the pool cudaMalloc'ed (nvidia-smi view)
+    rounding_waste_bytes: int  # size-class rounding at the live peak
+    reuse_hits: int
+    reuse_misses: int
+
+    @property
+    def fragmentation_fraction(self) -> float:
+        """Fraction of reserved memory the model never actually needed."""
+        if self.reserved_bytes == 0:
+            return 0.0
+        return 1.0 - self.ideal_peak_bytes / self.reserved_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.reuse_hits + self.reuse_misses
+        return self.reuse_hits / total if total else 0.0
+
+
+class _ExactFitPool:
+    """MXNet GPU pool semantics: free buffers keyed by rounded size; a
+    request reuses the smallest free buffer whose class is >= the request
+    and <= 2x the request (bounded internal waste), else cudaMallocs."""
+
+    def __init__(self) -> None:
+        self._free: dict[int, int] = defaultdict(int)  # class -> count
+        self._classes: list[int] = []  # sorted distinct free classes
+        self.reserved = 0
+        self.hits = 0
+        self.misses = 0
+
+    def allocate(self, nbytes: int) -> int:
+        """Returns the size class actually handed out."""
+        wanted = round_up(nbytes)
+        if wanted == 0:
+            return 0
+        # Smallest free class in [wanted, 2*wanted].
+        from bisect import bisect_left
+
+        idx = bisect_left(self._classes, wanted)
+        if idx < len(self._classes) and self._classes[idx] <= 2 * wanted:
+            cls = self._classes[idx]
+            self._free[cls] -= 1
+            if self._free[cls] == 0:
+                self._classes.pop(idx)
+            self.hits += 1
+            return cls
+        self.reserved += wanted
+        self.misses += 1
+        return wanted
+
+    def release(self, size_class: int) -> None:
+        if size_class == 0:
+            return
+        if self._free[size_class] == 0:
+            insort(self._classes, size_class)
+        self._free[size_class] += 1
+
+
+def simulate_pool(plan: MemoryPlan) -> PoolStats:
+    """Replay the plan's allocation/free trace through the caching pool."""
+    alloc_at: dict[int, list] = defaultdict(list)
+    free_after: dict[int, list] = defaultdict(list)
+    for life in plan.lifetimes.values():
+        alloc_at[life.alloc_step].append(life)
+        free_after[life.free_step].append(life)
+
+    pool = _ExactFitPool()
+    held: dict[tuple[int, int], int] = {}  # tensor key -> size class
+    live_rounded = 0
+    live_exact = 0
+    peak_rounding_waste = 0
+
+    num_steps = len(plan.order)
+    for step in range(num_steps):
+        for life in alloc_at[step]:
+            cls = pool.allocate(life.nbytes)
+            held[life.key] = cls
+            live_rounded += cls
+            live_exact += life.nbytes
+        waste = live_rounded - live_exact
+        if waste > peak_rounding_waste:
+            peak_rounding_waste = waste
+        for life in free_after[step]:
+            cls = held.pop(life.key, 0)
+            pool.release(cls)
+            live_rounded -= cls
+            live_exact -= life.nbytes
+
+    # The workspace arena is cudaMalloc'ed once at its high-water mark.
+    reserved = pool.reserved + round_up(plan.workspace_pool_hwm)
+    return PoolStats(
+        ideal_peak_bytes=plan.peak_bytes,
+        reserved_bytes=max(reserved, plan.peak_bytes),
+        rounding_waste_bytes=peak_rounding_waste,
+        reuse_hits=pool.hits,
+        reuse_misses=pool.misses,
+    )

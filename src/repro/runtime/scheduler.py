@@ -1,0 +1,69 @@
+"""List scheduler for training graphs.
+
+Produces a total order of nodes honoring dataflow dependencies, choosing
+among ready nodes by ``node.priority`` (creation order by default). The
+Echo rewrite lowers mirrored recompute nodes' priority to just below their
+first backward consumer, so they execute as late as possible and their
+outputs stay live for the minimum interval — the property that makes
+recomputation save memory instead of merely moving it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.graph import Node, Tensor, topo_order
+
+
+class SchedulingError(RuntimeError):
+    """Raised when the graph cannot be totally ordered (cycle)."""
+
+
+def schedule(outputs: Iterable[Tensor]) -> list[Node]:
+    """Priority-driven Kahn's algorithm over all nodes reachable from
+    ``outputs``. Deterministic: ties broken by node uid."""
+    nodes = topo_order(outputs)
+    by_uid = {n.uid: n for n in nodes}
+
+    indegree: dict[int, int] = {n.uid: 0 for n in nodes}
+    dependents: dict[int, list[int]] = defaultdict(list)
+    for node in nodes:
+        producer_uids = {t.node.uid for t in node.inputs}
+        indegree[node.uid] = len(producer_uids)
+        for uid in producer_uids:
+            dependents[uid].append(node.uid)
+
+    ready = [
+        (n.priority, n.uid) for n in nodes if indegree[n.uid] == 0
+    ]
+    heapq.heapify(ready)
+
+    order: list[Node] = []
+    while ready:
+        _, uid = heapq.heappop(ready)
+        node = by_uid[uid]
+        order.append(node)
+        for dep_uid in dependents[uid]:
+            indegree[dep_uid] -= 1
+            if indegree[dep_uid] == 0:
+                dep = by_uid[dep_uid]
+                heapq.heappush(ready, (dep.priority, dep.uid))
+
+    if len(order) != len(nodes):
+        raise SchedulingError(
+            f"cycle detected: scheduled {len(order)} of {len(nodes)} nodes"
+        )
+    return order
+
+
+def validate_schedule(order: Sequence[Node]) -> None:
+    """Assert producers precede consumers (used by tests and Echo checks)."""
+    position = {n.uid: i for i, n in enumerate(order)}
+    for node in order:
+        for t in node.inputs:
+            if position[t.node.uid] >= position[node.uid]:
+                raise SchedulingError(
+                    f"{t.node.name} scheduled after its consumer {node.name}"
+                )

@@ -1,0 +1,21 @@
+"""Training infrastructure (DESIGN.md S10)."""
+
+from repro.train.beam import BeamHypothesis, BeamSearchDecoder
+from repro.train.bucketed import BucketedTrainer
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.decode import GreedyDecoder
+from repro.train.metrics import corpus_bleu, perplexity, token_accuracy
+from repro.train.optimizer import SGD, Adam, Optimizer
+from repro.train.trainer import Speedometer, Trainer, TrainRecord
+
+__all__ = [
+    "Optimizer", "SGD", "Adam",
+    "perplexity", "corpus_bleu", "token_accuracy",
+    "Trainer", "TrainRecord", "Speedometer",
+    "GreedyDecoder",
+    "BeamSearchDecoder",
+    "BeamHypothesis",
+    "BucketedTrainer",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,96 @@
+"""Parameter checkpointing: save/restore training state as ``.npz``.
+
+Long NMT trainings (the paper trains to a target BLEU over hours) need
+restartable state; this covers parameters, optimizer bookkeeping that
+lives in numpy arrays, and the trainer's clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.train.optimizer import SGD, Adam, Optimizer
+from repro.train.trainer import Trainer
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(path: str | pathlib.Path, trainer: Trainer) -> None:
+    """Write parameters + optimizer state + clock to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in trainer.params.items():
+        arrays[f"param/{name}"] = value
+    opt = trainer.optimizer
+    if isinstance(opt, SGD):
+        for name, v in opt._velocity.items():
+            arrays[f"opt.velocity/{name}"] = v
+    elif isinstance(opt, Adam):
+        for name, m in opt._m.items():
+            arrays[f"opt.m/{name}"] = m
+        for name, v in opt._v.items():
+            arrays[f"opt.v/{name}"] = v
+    meta = {
+        "optimizer": opt.name,
+        "optimizer_step": opt._step,
+        "trainer_step": len(trainer.history),
+        "samples": trainer._samples,
+        "sim_seconds": trainer._sim_clock,
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str | pathlib.Path, trainer: Trainer) -> dict:
+    """Restore state saved by :func:`save_checkpoint` into ``trainer``.
+
+    The trainer must have been built with the same model/optimizer
+    family; mismatches raise rather than silently training from garbage.
+    """
+    with np.load(pathlib.Path(path)) as data:
+        meta = json.loads(bytes(data[_META_KEY]).decode())
+        if meta["optimizer"] != trainer.optimizer.name:
+            raise ValueError(
+                f"checkpoint has optimizer {meta['optimizer']!r}, trainer "
+                f"uses {trainer.optimizer.name!r}"
+            )
+        saved_params = {
+            key[len("param/"):]: data[key]
+            for key in data.files if key.startswith("param/")
+        }
+        if set(saved_params) != set(trainer.params):
+            missing = set(trainer.params) ^ set(saved_params)
+            raise ValueError(f"parameter name mismatch: {sorted(missing)}")
+        for name, value in saved_params.items():
+            if value.shape != trainer.params[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: checkpoint "
+                    f"{value.shape} vs model {trainer.params[name].shape}"
+                )
+            trainer.params[name][...] = value
+
+        opt = trainer.optimizer
+        if isinstance(opt, SGD):
+            opt._velocity = {
+                key[len("opt.velocity/"):]: data[key].copy()
+                for key in data.files if key.startswith("opt.velocity/")
+            }
+        elif isinstance(opt, Adam):
+            opt._m = {
+                key[len("opt.m/"):]: data[key].copy()
+                for key in data.files if key.startswith("opt.m/")
+            }
+            opt._v = {
+                key[len("opt.v/"):]: data[key].copy()
+                for key in data.files if key.startswith("opt.v/")
+            }
+    opt._step = meta["optimizer_step"]
+    trainer._samples = meta["samples"]
+    trainer._sim_clock = meta["sim_seconds"]
+    return meta

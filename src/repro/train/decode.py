@@ -1,0 +1,85 @@
+"""Greedy decoding for the NMT model (BLEU validation).
+
+Builds the encoder-inference graph and a single decoder-step graph once
+(sharing the training parameters through the model's :class:`ParamStore`),
+then unrolls decoding in numpy — the way real toolkits run inference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.nmt import (
+    NmtConfig,
+    build_decoder_step,
+    build_encoder_inference,
+)
+from repro.nn import ParamStore
+from repro.runtime import GraphExecutor
+
+
+class GreedyDecoder:
+    """Greedy (argmax) decoder over a trained NMT parameter set."""
+
+    def __init__(self, config: NmtConfig, store: ParamStore,
+                 bos: int = 1, eos: int = 2) -> None:
+        self.config = config
+        self.bos = bos
+        self.eos = eos
+        self._encoder = GraphExecutor([build_encoder_inference(config, store)])
+        step = build_decoder_step(config, store)
+        self._step = GraphExecutor(step.outputs)
+
+    def translate(
+        self,
+        src_tokens: np.ndarray,
+        params: dict[str, np.ndarray],
+        max_len: int | None = None,
+    ) -> list[list[int]]:
+        """``src_tokens`` is [T_src x B]; returns token lists (EOS-trimmed)."""
+        cfg = self.config
+        batch = cfg.batch_size
+        max_len = max_len or cfg.tgt_len
+
+        enc_states = self._encoder.run(
+            {"infer_src_tokens": src_tokens}, params
+        ).outputs[0]
+
+        att_hidden = np.zeros((batch, cfg.hidden_size), np.float32)
+        states = [
+            (np.zeros((batch, cfg.hidden_size), np.float32),
+             np.zeros((batch, cfg.hidden_size), np.float32))
+            for _ in range(cfg.decoder_layers)
+        ]
+        tokens = np.full((1, batch), self.bos, np.int64)
+        finished = np.zeros(batch, bool)
+        outputs: list[list[int]] = [[] for _ in range(batch)]
+
+        for _ in range(max_len):
+            feeds = {
+                "step_prev_token": tokens,
+                "step_att_hidden": att_hidden,
+                "step_encoder_states": enc_states,
+            }
+            for layer, (h, c) in enumerate(states):
+                feeds[f"step_h{layer}"] = h
+                feeds[f"step_c{layer}"] = c
+            result = self._step.run(feeds, params).outputs
+            logits, att_hidden = result[0], result[1]
+            states = [
+                (result[2 + 2 * i], result[3 + 2 * i])
+                for i in range(cfg.decoder_layers)
+            ]
+            next_tokens = np.argmax(logits, axis=1)
+            for b in range(batch):
+                if finished[b]:
+                    continue
+                token = int(next_tokens[b])
+                if token == self.eos:
+                    finished[b] = True
+                else:
+                    outputs[b].append(token)
+            if finished.all():
+                break
+            tokens = next_tokens.reshape(1, batch).astype(np.int64)
+        return outputs

@@ -1,0 +1,106 @@
+"""Training-quality metrics: perplexity and corpus BLEU.
+
+Perplexity (lower is better) quantifies language-modeling quality; BLEU
+(higher is better; >20 is "decent" per the paper) quantifies translation
+quality on the validation set.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+Sentence = Sequence[int]
+
+
+def perplexity(mean_cross_entropy: float) -> float:
+    """exp(loss), clamped to avoid overflow on untrained models."""
+    return math.exp(min(mean_cross_entropy, 30.0))
+
+
+def _ngrams(sentence: Sentence, n: int) -> Counter:
+    return Counter(
+        tuple(sentence[i:i + n]) for i in range(len(sentence) - n + 1)
+    )
+
+
+def sentence_clip_counts(
+    hypothesis: Sentence, reference: Sentence, n: int
+) -> tuple[int, int]:
+    """(clipped matches, total hypothesis n-grams) for one order."""
+    hyp = _ngrams(hypothesis, n)
+    ref = _ngrams(reference, n)
+    matches = sum(min(count, ref[gram]) for gram, count in hyp.items())
+    total = max(sum(hyp.values()), 0)
+    return matches, total
+
+
+def corpus_bleu(
+    hypotheses: Sequence[Sentence],
+    references: Sequence[Sentence],
+    max_order: int = 4,
+    smooth: bool = True,
+) -> float:
+    """Corpus-level BLEU in [0, 100] with brevity penalty.
+
+    ``smooth`` adds one to every numerator/denominator (Lin & Och), keeping
+    early-training scores finite instead of hard zero.
+    """
+    if len(hypotheses) != len(references):
+        raise ValueError(
+            f"{len(hypotheses)} hypotheses vs {len(references)} references"
+        )
+    if not hypotheses:
+        return 0.0
+
+    matches = [0] * max_order
+    totals = [0] * max_order
+    hyp_len = 0
+    ref_len = 0
+    for hyp, ref in zip(hypotheses, references):
+        hyp_len += len(hyp)
+        ref_len += len(ref)
+        for n in range(1, max_order + 1):
+            m, t = sentence_clip_counts(hyp, ref, n)
+            matches[n - 1] += m
+            totals[n - 1] += t
+
+    # Effective order: n-gram orders longer than every sentence contribute
+    # no counts and are excluded from the geometric mean (sacrebleu-style),
+    # so very short corpora still score sensibly.
+    log_precision = 0.0
+    effective_order = 0
+    for m, t in zip(matches, totals):
+        if t == 0:
+            continue
+        effective_order += 1
+        if smooth:
+            m, t = m + 1, t + 1
+        if m == 0:
+            return 0.0
+        log_precision += math.log(m / t)
+    if effective_order == 0:
+        return 0.0
+    log_precision /= effective_order
+
+    if hyp_len == 0:
+        return 0.0
+    brevity = 1.0 if hyp_len > ref_len else math.exp(1.0 - ref_len / hyp_len)
+    return 100.0 * brevity * math.exp(log_precision)
+
+
+def token_accuracy(
+    predictions: Sequence[Sentence], labels: Sequence[Sentence],
+    ignore: int = -1,
+) -> float:
+    """Fraction of non-padding tokens predicted exactly (teacher-forced)."""
+    correct = 0
+    total = 0
+    for pred, lab in zip(predictions, labels):
+        for p, l in zip(pred, lab):
+            if l == ignore:
+                continue
+            total += 1
+            correct += int(p == l)
+    return correct / max(total, 1)

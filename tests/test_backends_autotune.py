@@ -1,0 +1,85 @@
+"""Tests for the backend microbenchmark and transparent autotuner."""
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    autotune_backend,
+    benchmark_lstm,
+    pure_lstm_graph,
+)
+from repro.gpumodel import DeviceModel, TITAN_V
+
+
+class TestPureLstmGraph:
+    def test_contains_only_rnn_machinery(self):
+        graph, store = pure_lstm_graph(8, 16, 2, 5, Backend.CUDNN)
+        ops = {n.op.name for n in graph.nodes()}
+        assert "embedding" not in ops
+        assert "softmax_cross_entropy" not in ops
+        assert "lstm_gates" in ops
+
+    def test_default_backend_unfused(self):
+        graph, _ = pure_lstm_graph(8, 16, 1, 5, Backend.DEFAULT)
+        ops = {n.op.name for n in graph.nodes()}
+        assert "lstm_gates" not in ops
+        assert "sigmoid" in ops
+
+    def test_parameter_count(self):
+        _, store = pure_lstm_graph(8, 16, 2, 5, Backend.CUDNN)
+        # layer0: 4H*(H+H)+4H ; layer1 same (input_size == hidden)
+        per_layer = 4 * 16 * 16 * 2 + 4 * 16
+        assert store.num_parameters() == 2 * per_layer
+
+
+class TestBenchmarkLstm:
+    def test_times_positive_and_split(self):
+        res = benchmark_lstm(16, 32, 1, 10, Backend.DEFAULT)
+        assert res.forward_seconds > 0
+        assert res.backward_seconds > 0
+        assert res.total_seconds == pytest.approx(
+            res.forward_seconds + res.backward_seconds
+        )
+
+    def test_backward_costs_more_than_forward(self):
+        """Backward has ~2x the GEMMs of forward, on every backend."""
+        for backend in Backend:
+            res = benchmark_lstm(32, 256, 1, 25, backend)
+            assert res.backward_seconds > res.forward_seconds, backend
+
+    def test_fused_beats_default(self):
+        default = benchmark_lstm(64, 512, 1, 25, Backend.DEFAULT)
+        fused = benchmark_lstm(64, 512, 1, 25, Backend.CUDNN)
+        assert default.total_seconds > 1.3 * fused.total_seconds
+
+    def test_echo_layout_beats_cudnn_at_small_batch(self):
+        cudnn = benchmark_lstm(32, 512, 1, 25, Backend.CUDNN)
+        echo = benchmark_lstm(32, 512, 1, 25, Backend.ECHO)
+        assert echo.total_seconds < cudnn.total_seconds
+
+    def test_device_parameter_respected(self):
+        xp = benchmark_lstm(64, 512, 1, 25, Backend.ECHO)
+        volta = benchmark_lstm(64, 512, 1, 25, Backend.ECHO,
+                               device=DeviceModel(TITAN_V))
+        assert volta.total_seconds < xp.total_seconds
+
+
+class TestAutotuner:
+    def test_selects_minimum(self):
+        report = autotune_backend(64, 512, 1, 25)
+        best = min(report.results.values(), key=lambda r: r.total_seconds)
+        assert report.results[report.choice].total_seconds == pytest.approx(
+            best.total_seconds
+        )
+
+    def test_never_selects_default_at_scale(self):
+        """Default's launch storm loses at every realistic config."""
+        for batch, hidden in [(32, 256), (64, 512), (128, 1024)]:
+            report = autotune_backend(batch, hidden, 1, 25)
+            assert report.choice is not Backend.DEFAULT
+
+    def test_format_marks_selection(self):
+        report = autotune_backend(32, 256, 1, 10)
+        text = report.format()
+        assert "<-- selected" in text
+        assert all(b.value in text for b in Backend)

@@ -1,0 +1,146 @@
+"""Tests for beam-search decoding."""
+
+import numpy as np
+import pytest
+
+from repro.data import TranslationTask
+from repro.models import NmtConfig, build_nmt
+from repro.nn import Backend
+from repro.train import (
+    Adam,
+    BeamSearchDecoder,
+    GreedyDecoder,
+    Trainer,
+)
+from repro.train.beam import _log_softmax
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    """A small NMT model trained enough to have non-trivial preferences."""
+    cfg = NmtConfig(
+        src_vocab_size=60, tgt_vocab_size=60, embed_size=24, hidden_size=24,
+        encoder_layers=1, decoder_layers=1, src_len=8, tgt_len=8,
+        batch_size=8, backend=Backend.CUDNN,
+    )
+    task = TranslationTask(60, 60, 8, 8)
+    model = build_nmt(cfg)
+    params = model.store.initialize()
+    trainer = Trainer(model.graph, params, Adam(5e-3))
+    rng = np.random.default_rng(0)
+    for _ in range(150):
+        trainer.step(task.sample_batch(cfg.batch_size, rng))
+    val = task.sample_batch(cfg.batch_size, np.random.default_rng(99))
+    return cfg, model, params, val
+
+
+def _sequence_log_prob(cfg, store, params, src, tokens, bos=1, eos=2):
+    """Teacher-forced log-probability of a token sequence (via the
+    greedy step graph, stepping through the given tokens)."""
+    from repro.models.nmt import build_decoder_step, build_encoder_inference
+    from repro.runtime import GraphExecutor
+
+    enc_ex = GraphExecutor([build_encoder_inference(cfg, store)])
+    step = build_decoder_step(cfg, store)
+    step_ex = GraphExecutor(step.outputs)
+
+    enc = enc_ex.run({"infer_src_tokens": src}, params).outputs[0]
+    batch = cfg.batch_size
+    att = np.zeros((batch, cfg.hidden_size), np.float32)
+    states = [
+        (np.zeros((batch, cfg.hidden_size), np.float32),
+         np.zeros((batch, cfg.hidden_size), np.float32))
+        for _ in range(cfg.decoder_layers)
+    ]
+    prev = np.full((1, batch), bos, np.int64)
+    totals = np.zeros(batch)
+    done = np.zeros(batch, bool)
+    max_steps = max((len(t) for t in tokens), default=0) + 1
+    for t in range(max_steps):
+        feeds = {"step_prev_token": prev, "step_att_hidden": att,
+                 "step_encoder_states": enc}
+        for layer, (h, c) in enumerate(states):
+            feeds[f"step_h{layer}"] = h
+            feeds[f"step_c{layer}"] = c
+        out = step_ex.run(feeds, params).outputs
+        logits, att = out[0], out[1]
+        states = [(out[2 + 2 * i], out[3 + 2 * i])
+                  for i in range(cfg.decoder_layers)]
+        logp = _log_softmax(logits)
+        nxt = np.full(batch, eos, np.int64)
+        for b in range(batch):
+            if done[b]:
+                continue
+            target = tokens[b][t] if t < len(tokens[b]) else eos
+            totals[b] += logp[b, target]
+            if target == eos or t >= len(tokens[b]):
+                done[b] = True
+            nxt[b] = target
+        if done.all():
+            break
+        prev = nxt.reshape(1, batch)
+    return totals
+
+
+class TestBeamBasics:
+    def test_beam_one_equals_greedy(self, trained_model):
+        cfg, model, params, val = trained_model
+        greedy = GreedyDecoder(cfg, model.store)
+        beam1 = BeamSearchDecoder(cfg, model.store, beam_size=1)
+        assert (greedy.translate(val["src_tokens"], params)
+                == beam1.translate(val["src_tokens"], params))
+
+    def test_deterministic(self, trained_model):
+        cfg, model, params, val = trained_model
+        beam = BeamSearchDecoder(cfg, model.store, beam_size=3)
+        a = beam.translate(val["src_tokens"], params)
+        b = beam.translate(val["src_tokens"], params)
+        assert a == b
+
+    def test_invalid_beam_size(self, trained_model):
+        cfg, model, *_ = trained_model
+        with pytest.raises(ValueError):
+            BeamSearchDecoder(cfg, model.store, beam_size=0)
+
+    def test_n_best_sorted_and_distinct_scores(self, trained_model):
+        cfg, model, params, val = trained_model
+        beam = BeamSearchDecoder(cfg, model.store, beam_size=4)
+        n_best = beam.translate_n_best(val["src_tokens"], params)
+        assert all(len(beams) == 4 for beams in n_best)
+        for beams in n_best:
+            norm = [h.normalized_score(1.0) for h in beams]
+            assert norm == sorted(norm, reverse=True)
+
+    def test_outputs_respect_max_len_and_eos(self, trained_model):
+        cfg, model, params, val = trained_model
+        beam = BeamSearchDecoder(cfg, model.store, beam_size=3)
+        outs = beam.translate(val["src_tokens"], params, max_len=4)
+        assert all(len(s) <= 4 for s in outs)
+        assert all(2 not in s for s in outs)
+
+
+class TestBeamQuality:
+    def test_beam_scores_better_than_greedy_on_average(self, trained_model):
+        """Beam search finds higher-probability sequences than greedy in
+        aggregate. (Per-sentence dominance is NOT guaranteed: the greedy
+        prefix can be evicted from a finite beam, so we assert the mean
+        and the majority, which is the property practitioners rely on.)"""
+        cfg, model, params, val = trained_model
+        greedy = GreedyDecoder(cfg, model.store)
+        beam = BeamSearchDecoder(cfg, model.store, beam_size=4,
+                                 length_penalty=0.0)
+        g = greedy.translate(val["src_tokens"], params)
+        b = beam.translate(val["src_tokens"], params)
+        lp_g = _sequence_log_prob(cfg, model.store, params,
+                                  val["src_tokens"], g)
+        lp_b = _sequence_log_prob(cfg, model.store, params,
+                                  val["src_tokens"], b)
+        assert lp_b.mean() >= lp_g.mean()
+        assert np.mean(lp_b >= lp_g - 1e-4) >= 0.5
+
+    def test_log_softmax_normalized(self):
+        x = np.random.default_rng(0).standard_normal((5, 11)).astype(
+            np.float32)
+        lp = _log_softmax(x)
+        np.testing.assert_allclose(np.exp(lp).sum(axis=1), np.ones(5),
+                                   rtol=1e-5)

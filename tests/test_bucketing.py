@@ -1,0 +1,132 @@
+"""Tests for length bucketing and the bucketed trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BucketedTranslationBatches,
+    BucketSpec,
+    TranslationTask,
+    bucket_for,
+    default_buckets,
+)
+from repro.models import NmtConfig
+from repro.nn import Backend
+from repro.train import Adam, BucketedTrainer
+
+
+def _cfg(**over):
+    base = dict(
+        src_vocab_size=80, tgt_vocab_size=80, embed_size=16, hidden_size=16,
+        encoder_layers=1, decoder_layers=1, src_len=12, tgt_len=12,
+        batch_size=8, backend=Backend.CUDNN,
+    )
+    base.update(over)
+    return NmtConfig(**base)
+
+
+class TestBucketSpecs:
+    def test_default_buckets_cover_max(self):
+        buckets = default_buckets(35, step=10)
+        assert buckets[-1].src_len == 35
+        assert [b.src_len for b in buckets] == [10, 20, 30, 35]
+
+    def test_bucket_for_picks_smallest_fit(self):
+        buckets = default_buckets(30, step=10)
+        assert bucket_for(7, buckets).src_len == 10
+        assert bucket_for(10, buckets).src_len == 10
+        assert bucket_for(11, buckets).src_len == 20
+
+    def test_too_long_rejected(self):
+        buckets = default_buckets(20, step=10)
+        with pytest.raises(ValueError, match="exceeds"):
+            bucket_for(25, buckets)
+
+    def test_degenerate_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            BucketSpec(src_len=10, tgt_len=5)
+
+
+class TestBucketedBatches:
+    def test_batches_fit_their_bucket(self):
+        task = TranslationTask(80, 80, 12, 12)
+        data = BucketedTranslationBatches(
+            task, default_buckets(12, step=6), batch_size=4, seed=1
+        )
+        for _ in range(10):
+            bucket, feeds = data.sample()
+            assert feeds["src_tokens"].shape == (bucket.src_len, 4)
+            assert feeds["tgt_labels"].shape == (bucket.tgt_len, 4)
+
+    def test_task_must_cover_buckets(self):
+        task = TranslationTask(80, 80, 8, 8)
+        with pytest.raises(ValueError, match="cover"):
+            BucketedTranslationBatches(
+                task, default_buckets(12, step=6), batch_size=4
+            )
+
+
+class TestBucketedTrainer:
+    def _make(self, echo=False):
+        buckets = default_buckets(12, step=6)
+        trainer = BucketedTrainer(_cfg(), buckets, Adam(3e-3), echo=echo)
+        task = TranslationTask(80, 80, 12, 12)
+        data = BucketedTranslationBatches(task, buckets, batch_size=8, seed=2)
+        return trainer, data
+
+    def test_parameters_shared_across_buckets(self):
+        trainer, _ = self._make()
+        param_dicts = {
+            id(t.params) for t in trainer._trainers.values()
+        }
+        assert len(param_dicts) == 1
+
+    def test_training_across_buckets_converges(self):
+        trainer, data = self._make()
+        losses = []
+        for _ in range(30):
+            bucket, feeds = data.sample()
+            losses.append(trainer.step(bucket, feeds).loss)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_peak_set_by_largest_bucket(self):
+        trainer, _ = self._make()
+        per_bucket = [
+            (b.src_len, t.peak_bytes)
+            for b, t in trainer._trainers.items()
+        ]
+        per_bucket.sort()
+        assert trainer.peak_bytes == per_bucket[-1][1]
+        assert per_bucket[-1][1] > per_bucket[0][1]
+
+    def test_echo_applies_per_bucket(self):
+        trainer, _ = self._make(echo=True)
+        assert len(trainer.echo_reports) == 2
+        largest = max(trainer.echo_reports, key=lambda b: b.src_len)
+        assert trainer.echo_reports[largest].footprint_reduction > 1.2
+
+    def test_echo_and_baseline_training_agree(self):
+        base_trainer, base_data = self._make(echo=False)
+        echo_trainer, echo_data = self._make(echo=True)
+        for _ in range(5):
+            bucket, feeds = base_data.sample()
+            r_base = base_trainer.step(bucket, feeds)
+            bucket_e, feeds_e = echo_data.sample()
+            r_echo = echo_trainer.step(bucket_e, feeds_e)
+            assert bucket_e == bucket  # same seed -> same stream
+            assert r_base.loss == r_echo.loss  # bitwise, as always
+
+    def test_unknown_bucket_rejected(self):
+        trainer, _ = self._make()
+        with pytest.raises(ValueError, match="unknown bucket"):
+            trainer.step(BucketSpec(9, 9), {})
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BucketedTrainer(_cfg(), (), Adam(1e-3))
+
+    def test_mean_iteration_time(self):
+        trainer, _ = self._make()
+        mean = trainer.mean_iteration_seconds()
+        times = [t.iteration_seconds for t in trainer._trainers.values()]
+        assert min(times) <= mean <= max(times)

@@ -1,0 +1,153 @@
+"""Tests for the synthetic corpora and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BOS,
+    EOS,
+    IWSLT15_EN_VI,
+    PAD,
+    PTB,
+    WIKITEXT2,
+    TranslationTask,
+    batches,
+    lm_batches,
+    markov_corpus,
+    markov_transitions,
+)
+
+
+class TestMarkovCorpus:
+    def test_token_range(self):
+        corpus = markov_corpus(100, 5000, seed=0)
+        assert corpus.min() >= 3  # specials never emitted
+        assert corpus.max() < 100
+        assert corpus.dtype == np.int64
+
+    def test_deterministic(self):
+        a = markov_corpus(100, 1000, seed=1)
+        b = markov_corpus(100, 1000, seed=1)
+        np.testing.assert_array_equal(a, b)
+        c = markov_corpus(100, 1000, seed=2)
+        assert not np.array_equal(a, c)
+
+    def test_transitions_are_stochastic(self):
+        probs = markov_transitions(50, branching=4, seed=0)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(47), rtol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_low_entropy(self):
+        """The chain must be learnable: conditional entropy well below
+        uniform (which would be log2(97) ~ 6.6 bits)."""
+        probs = markov_transitions(100, branching=4, seed=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            plogp = np.where(probs > 0, probs * np.log2(probs), 0.0)
+        entropy = -plogp.sum(axis=1).mean()
+        assert entropy < 3.5
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            markov_corpus(5, 100)
+
+
+class TestLmBatches:
+    def test_labels_are_next_tokens(self):
+        corpus = np.arange(100, dtype=np.int64) + 3
+        batch = next(lm_batches(corpus, batch_size=2, seq_len=5))
+        np.testing.assert_array_equal(
+            batch["labels"], batch["tokens"] + 1
+        )
+        assert batch["tokens"].shape == (5, 2)
+
+    def test_continuity_across_batches(self):
+        """Consecutive batches continue each lane (truncated BPTT)."""
+        corpus = np.arange(1000, dtype=np.int64) + 3
+        it = lm_batches(corpus, batch_size=4, seq_len=7)
+        first = next(it)
+        second = next(it)
+        np.testing.assert_array_equal(
+            second["tokens"][0], first["tokens"][-1] + 1
+        )
+
+    def test_too_small_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            next(lm_batches(np.arange(10), batch_size=8, seq_len=8))
+
+
+class TestTranslationTask:
+    def _task(self):
+        return TranslationTask(
+            src_vocab_size=60, tgt_vocab_size=60, src_len=8, tgt_len=8,
+            seed=3,
+        )
+
+    def test_batch_shapes_and_conventions(self):
+        task = self._task()
+        batch = task.sample_batch(5, np.random.default_rng(0))
+        assert batch["src_tokens"].shape == (8, 5)
+        assert batch["tgt_tokens"].shape == (8, 5)
+        assert batch["tgt_labels"].shape == (8, 5)
+        # Decoder input starts with BOS in every lane.
+        assert np.all(batch["tgt_tokens"][0] == BOS)
+
+    def test_labels_match_references(self):
+        task = self._task()
+        batch = task.sample_batch(4, np.random.default_rng(1))
+        refs = task.references(batch["src_tokens"])
+        for b, ref in enumerate(refs):
+            labels = batch["tgt_labels"][:, b]
+            produced = [int(t) for t in labels if t >= 3]
+            assert produced == ref
+
+    def test_labels_terminate_with_eos_when_room(self):
+        task = self._task()
+        batch = task.sample_batch(6, np.random.default_rng(2))
+        for b in range(6):
+            labels = batch["tgt_labels"][:, b]
+            real = labels[labels != -1]
+            if len(real) < task.tgt_len:
+                assert real[-1] == EOS
+
+    def test_target_is_reversed_relabeled_source(self):
+        task = self._task()
+        batch = task.sample_batch(3, np.random.default_rng(3))
+        refs = task.references(batch["src_tokens"])
+        for b in range(3):
+            src = batch["src_tokens"][:, b]
+            src = src[src != PAD]
+            assert len(refs[b]) == len(src)
+
+    def test_teacher_forcing_alignment(self):
+        """tgt_tokens[t+1] must equal tgt_labels[t] for real tokens."""
+        task = self._task()
+        batch = task.sample_batch(4, np.random.default_rng(4))
+        for b in range(4):
+            labels = batch["tgt_labels"][:, b]
+            inputs = batch["tgt_tokens"][:, b]
+            for t in range(task.tgt_len - 1):
+                if labels[t] >= 3:
+                    assert inputs[t + 1] == labels[t]
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TranslationTask(60, 60, src_len=10, tgt_len=5)
+
+    def test_batches_iterator(self):
+        task = self._task()
+        out = list(batches(task, batch_size=2, num_batches=3, seed=5))
+        assert len(out) == 3
+        assert all(b["src_tokens"].shape == (8, 2) for b in out)
+
+
+class TestCorpusSpecs:
+    def test_paper_vocab_sizes(self):
+        assert PTB.vocab_size == 10000
+        assert WIKITEXT2.vocab_size == 33278
+        assert IWSLT15_EN_VI.src_vocab_size == 17191
+        assert IWSLT15_EN_VI.tgt_vocab_size == 7709
+
+    def test_synthetic_stream(self):
+        stream = PTB.synthetic(num_tokens=2000)
+        assert len(stream) == 2000
+        assert stream.max() < PTB.vocab_size

@@ -1,0 +1,190 @@
+"""Tests for the mining refinements: free-region candidates, the
+lifetime-gain guard, shared-border amortization, preserved stashes, and
+chain-mirror scheduling priorities.
+
+These encode the failure modes found while bringing up the DeepSpeech2
+workload: borders that outweigh interiors, boundary-consumed roots that
+pin whole mirror cones live, and recurrent chains inverting the backward
+schedule.
+"""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.autodiff import compile_training
+from repro.echo import EchoConfig, mine_candidates, optimize
+from repro.graph import Stage, topo_order
+from repro.gpumodel import DeviceModel
+from repro.runtime import TrainingExecutor, schedule
+
+
+def _collect_placeholders(loss):
+    placeholders = {}
+    for node in topo_order([loss]):
+        if node.op.name == "placeholder":
+            placeholders[node.name] = node.out()
+    return placeholders
+
+
+def _recurrent_chain_graph(steps=12, batch=16, hidden=64):
+    """A real fused LSTM layer: the recurrent GEMM stashes h_t, the
+    pointwise block stashes gates and c_t. The full cone's border (the
+    per-step GEMM contributions) outweighs h/c, but the free region
+    (recompute h/c from the stashed gate pre-activations) is profitable."""
+    from repro.nn import ParamStore
+    from repro.nn.rnn import Backend, lstm_layer
+
+    store = ParamStore(seed=5)
+    x = O.placeholder((steps, batch, hidden), name="rc_x")
+    hidden_seq, _ = lstm_layer(store, "rc", x, hidden,
+                               backend=Backend.CUDNN)
+    loss = O.reduce_mean(O.mul(hidden_seq, hidden_seq))
+    return compile_training(loss, store.tensors,
+                            _collect_placeholders(loss))
+
+
+class TestFreeRegionCandidates:
+    def test_free_variant_emitted_for_chains(self):
+        tg = _recurrent_chain_graph()
+        order = schedule(tg.outputs)
+        cands = mine_candidates(order, {t.key for t in tg.outputs},
+                                device=DeviceModel())
+        free = [c for c in cands if not c.new_stashes and any(
+            n.op.name == "lstm_gates" for n in c.nodes)]
+        assert free, "chain component should have a zero-stash variant"
+        assert all(c.benefit_bytes > 0 for c in free)
+
+    def test_full_and_free_share_component_id(self):
+        tg = _recurrent_chain_graph()
+        order = schedule(tg.outputs)
+        cands = mine_candidates(order, {t.key for t in tg.outputs},
+                                device=DeviceModel())
+        from collections import Counter
+
+        per_component = Counter(c.component_id for c in cands)
+        assert max(per_component.values()) <= 2
+
+    def test_chain_recompute_reduces_footprint(self):
+        tg = _recurrent_chain_graph()
+        before = TrainingExecutor(tg).peak_bytes
+        report = optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        assert report.optimized_peak_bytes < before
+        assert report.accepted
+
+    def test_chain_numerics_bitwise(self):
+        from repro.nn import ParamStore
+
+        tg = _recurrent_chain_graph()
+        gen = np.random.default_rng(0)
+        feeds = {"rc_x": gen.standard_normal((12, 16, 64)).astype(np.float32)}
+        params = {
+            name: gen.standard_normal(t.shape).astype(np.float32) * 0.2
+            for name, t in tg.params.items()
+        }
+        l0, g0, _ = TrainingExecutor(tg).run(feeds, params)
+        optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        l1, g1, _ = TrainingExecutor(tg).run(feeds, params)
+        assert l0 == l1
+        for name in g0:
+            np.testing.assert_array_equal(g0[name], g1[name])
+
+
+class TestLifetimeGainGuard:
+    def test_boundary_consumed_root_not_eliminated(self):
+        """A stash whose first backward use is at the boundary (feeds the
+        loss head directly) must not appear in any eliminated set."""
+        from repro.nn.rnn import unstack_time
+
+        steps, batch, hidden = 10, 8, 16
+        x = O.placeholder((steps, batch, hidden), name="lg_x")
+        w = O.variable((4, hidden), name="lg_w")
+        labels = O.placeholder((steps * batch,), np.int64, name="lg_y")
+        pieces = [O.expand_dims(O.tanh(s), 0) for s in unstack_time(x)]
+        stacked = O.concat(pieces, axis=0)  # consumed by head backward early
+        flat = O.reshape(stacked, (steps * batch, hidden))
+        logits = O.fully_connected(flat, w)
+        # Cross-entropy head: its gradient consumes `flat` via the weight
+        # gradient within the first couple of backward nodes.
+        loss = O.softmax_cross_entropy(logits, labels)
+        tg = compile_training(loss, {"lg_w": w}, _collect_placeholders(loss))
+        order = schedule(tg.outputs)
+        cands = mine_candidates(order, {t.key for t in tg.outputs},
+                                device=DeviceModel())
+        flat_key = flat.key
+        for c in cands:
+            assert flat_key not in {t.key for t in c.eliminated}
+
+    def test_preserved_keys_stay_stashed_after_apply(self):
+        tg = _recurrent_chain_graph()
+        report = optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        preserved = set()
+        for cand in report.accepted:
+            preserved |= set(cand.preserved)
+        if not preserved:
+            pytest.skip("no preserved stashes in this build")
+        order = schedule(tg.outputs)
+        # Preserved tensors must still be consumed by backward nodes.
+        still_stashed = set()
+        for node in order:
+            if node.stage is Stage.BACKWARD:
+                still_stashed.update(t.key for t in node.inputs)
+        assert preserved <= still_stashed
+
+
+class TestChainMirrorScheduling:
+    def test_chain_mirrors_front_load_the_backward(self):
+        """Mirrors that feed the first backward step must be scheduled at
+        the front of the backward pass (the priority-propagation fix)."""
+        tg = _recurrent_chain_graph(steps=16)
+        optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        order = schedule(tg.outputs)
+        pos = {n.uid: i for i, n in enumerate(order)}
+        stages = [n.stage for n in order]
+        if Stage.RECOMPUTE not in stages:
+            pytest.skip("no mirrors accepted")
+        boundary = next(
+            i for i, n in enumerate(order) if n.stage is not Stage.FORWARD
+        )
+        chain_mirrors = [
+            n for n in order
+            if n.stage is Stage.RECOMPUTE and n.op.name == "lstm_gates"
+        ]
+        if not chain_mirrors:
+            pytest.skip("chain variant not selected")
+        span = max(pos[n.uid] for n in chain_mirrors) - boundary
+        backward_len = len(order) - boundary
+        # The whole chain replays within the first third of the backward.
+        assert span < backward_len / 3
+
+    def test_non_chain_mirrors_stay_lazy(self):
+        """Independent per-step regions still recompute just-in-time."""
+        batch, seq, hidden, steps = 8, 12, 16, 6
+        keys = O.placeholder((batch, seq, hidden), name="lz_keys")
+        w = O.variable((hidden, hidden), name="lz_w")
+        v = O.variable((1, hidden), name="lz_v")
+        total = None
+        for t in range(steps):
+            q = O.placeholder((batch, hidden), name=f"lz_q{t}")
+            interior = O.tanh(O.add(O.expand_dims(
+                O.fully_connected(q, w), 1), keys))
+            flat = O.reshape(interior, (batch * seq, hidden))
+            term = O.reduce_sum(O.fully_connected(flat, v))
+            total = term if total is None else O.add(total, term)
+        tg = compile_training(total, {"lz_w": w, "lz_v": v},
+                              _collect_placeholders(total))
+        optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        order = schedule(tg.outputs)
+        pos = {n.uid: i for i, n in enumerate(order)}
+        consumers = {}
+        for n in order:
+            for t in n.inputs:
+                consumers.setdefault(t.node.uid, []).append(n)
+        mirrors = [n for n in order
+                   if n.stage is Stage.RECOMPUTE and n.op.name == "tanh"]
+        assert mirrors
+        for m in mirrors:
+            first_use = min(pos[c.uid] for c in consumers[m.uid])
+            assert first_use - pos[m.uid] < 25, (
+                "mirror computed long before its first consumer"
+            )

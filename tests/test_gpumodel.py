@@ -1,0 +1,165 @@
+"""Tests for the GPU device & cost model (the silicon substitute)."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.gpumodel import (
+    ALL_DEVICES,
+    RTX_2080_TI,
+    TITAN_V,
+    TITAN_XP,
+    DeviceModel,
+    estimate_gemm,
+    gemm_efficiency,
+)
+
+
+class TestDeviceSpecs:
+    def test_capacities_match_products(self):
+        assert TITAN_XP.dram_capacity == 12 * 1024**3
+        assert RTX_2080_TI.dram_capacity == 11 * 1024**3
+
+    def test_newer_devices_are_faster(self):
+        assert TITAN_V.peak_flops > TITAN_XP.peak_flops
+        assert TITAN_V.dram_bandwidth > TITAN_XP.dram_bandwidth
+
+    def test_all_devices_registered(self):
+        assert len(ALL_DEVICES) == 3
+        assert len({d.name for d in ALL_DEVICES}) == 3
+
+
+class TestGemmModel:
+    def _est(self, m, n, k, **kw):
+        return estimate_gemm(
+            TITAN_XP.peak_flops, TITAN_XP.dram_bandwidth, TITAN_XP.l2_bytes,
+            m, n, k, **kw,
+        )
+
+    def test_time_monotone_in_work(self):
+        small = self._est(128, 128, 128)
+        big = self._est(512, 512, 512)
+        assert big.seconds > small.seconds
+
+    def test_large_square_gemm_near_peak(self):
+        est = self._est(4096, 4096, 4096)
+        assert est.achieved_fraction > 0.75
+        ideal = 2 * 4096**3 / TITAN_XP.peak_flops
+        assert est.seconds < 2.2 * ideal
+
+    def test_never_faster_than_memory_bound(self):
+        for dims in [(64, 2048, 512), (2048, 64, 512), (16, 16, 4096)]:
+            est = self._est(*dims)
+            min_bytes = 4 * (dims[0] * dims[2] + dims[2] * dims[1]
+                             + dims[0] * dims[1])
+            assert est.seconds >= min_bytes / TITAN_XP.dram_bandwidth
+
+    def test_figure9_calibration_points(self):
+        """The published layout ratios the model is calibrated against."""
+        lstm_row = self._est(64, 2048, 512)
+        lstm_col = self._est(2048, 64, 512)
+        assert 1.6 < lstm_row.seconds / lstm_col.seconds < 2.4
+        gru_row = self._est(64, 3072, 1024)
+        gru_col = self._est(3072, 64, 1024)
+        assert 1.15 < gru_row.seconds / gru_col.seconds < 1.7
+
+    def test_batched_gemm_scales_with_batch(self):
+        # Sublinear in batch: the fixed kernel cost amortizes, which is
+        # the whole point of batched GEMM.
+        single = self._est(64, 64, 256, batch=1)
+        batched = self._est(64, 64, 256, batch=8)
+        assert 2 < batched.seconds / max(single.seconds, 1e-12) < 8
+
+    def test_gemv_shapes_bandwidth_bound(self):
+        est = self._est(1, 512, 2048)
+        bytes_moved = 4 * (512 * 2048 + 2048 + 512)
+        bound = bytes_moved / TITAN_XP.dram_bandwidth
+        assert est.seconds < 3 * bound
+
+    def test_efficiency_in_unit_interval(self):
+        for m, n, k in [(1, 1, 1), (64, 64, 64), (8192, 8192, 8192)]:
+            assert 0 < gemm_efficiency(m, n, k) <= 0.95
+
+
+class TestNodeCosting:
+    def test_views_are_free(self):
+        device = DeviceModel()
+        x = O.placeholder((4, 4), name="nc_x")
+        cost = device.node_cost(O.reshape(x, (16,)).node)
+        assert cost.kernel_seconds == 0.0
+        assert cost.api_seconds == 0.0
+
+    def test_sources_are_free(self):
+        device = DeviceModel()
+        x = O.placeholder((4, 4), name="nc_src")
+        assert device.node_cost(x.node).kernel_seconds == 0.0
+
+    def test_elementwise_scales_with_bytes(self):
+        device = DeviceModel()
+        small = O.tanh(O.placeholder((128, 128), name="nc_s"))
+        large = O.tanh(O.placeholder((2048, 2048), name="nc_l"))
+        t_small = device.node_cost(small.node).kernel_seconds
+        t_large = device.node_cost(large.node).kernel_seconds
+        assert t_large > 10 * t_small
+
+    def test_small_kernels_pay_wave_latency(self):
+        """Per-sample cost falls as kernels grow (the Figure 4b driver)."""
+        device = DeviceModel()
+        t1 = device.node_cost(
+            O.tanh(O.placeholder((64, 512), name="nc_w1")).node
+        ).kernel_seconds
+        t2 = device.node_cost(
+            O.tanh(O.placeholder((128, 512), name="nc_w2")).node
+        ).kernel_seconds
+        assert t2 < 2 * t1  # sublinear in size
+
+    def test_sequential_sequence_reverse_pathology(self):
+        device = DeviceModel()
+        x = O.placeholder((50, 64, 512), name="nc_sr")
+        slow = device.node_cost(O.sequence_reverse(x, parallel=False).node)
+        fast = device.node_cost(O.sequence_reverse(x, parallel=True).node)
+        assert slow.kernel_seconds > 100 * fast.kernel_seconds
+        assert slow.launches > fast.launches
+
+    def test_fused_lstm_one_launch(self):
+        device = DeviceModel()
+        g = O.placeholder((64, 2048), name="nc_g")
+        c = O.placeholder((64, 512), name="nc_c")
+        h, _ = O.lstm_gates(g, c)
+        assert device.node_cost(h.node).launches == 1
+
+    def test_gemm_layout_affects_cost_not_result(self):
+        from repro.layout import Layout
+
+        device = DeviceModel()
+        x = O.placeholder((64, 512), name="nc_fx")
+        w = O.variable((2048, 512), name="nc_fw")
+        row = O.fully_connected(x, w, layout=Layout.ROW_MAJOR)
+        col = O.fully_connected(x, w, layout=Layout.COL_MAJOR)
+        t_row = device.node_cost(row.node).kernel_seconds
+        t_col = device.node_cost(col.node).kernel_seconds
+        assert t_row > 1.5 * t_col
+
+
+class TestPowerModel:
+    def test_power_within_board_limits(self):
+        device = DeviceModel()
+        for busy in (0.0, 0.5, 1.0):
+            p = device.power_watts(busy)
+            assert TITAN_XP.idle_power_watts <= p <= TITAN_XP.max_power_watts
+
+    def test_power_nearly_flat(self):
+        """The paper's Figure 19a: power varies little across configs."""
+        device = DeviceModel()
+        assert device.power_watts(1.0) / device.power_watts(0.5) < 1.35
+
+    def test_energy_proportional_to_time(self):
+        device = DeviceModel()
+        e1 = device.energy_joules(0.8, 100.0)
+        e2 = device.energy_joules(0.8, 200.0)
+        assert abs(e2 / e1 - 2.0) < 1e-9
+
+    def test_out_of_range_busy_clamped(self):
+        device = DeviceModel()
+        assert device.power_watts(-1.0) == device.power_watts(0.0)
+        assert device.power_watts(2.0) == device.power_watts(1.0)

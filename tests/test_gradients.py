@@ -1,0 +1,216 @@
+"""Numerical gradient checks for every differentiable operator."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from tests.helpers import check_gradients, rng
+
+
+def _randn(*shape):
+    return rng(42).standard_normal(shape)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradients(lambda t: O.add(t[0], t[1]), [_randn(3, 4), _randn(3, 4)])
+
+    def test_add_broadcast(self):
+        check_gradients(lambda t: O.add(t[0], t[1]), [_randn(3, 4), _randn(4)])
+
+    def test_add_broadcast_middle(self):
+        check_gradients(
+            lambda t: O.add(t[0], t[1]), [_randn(2, 1, 4), _randn(2, 3, 4)]
+        )
+
+    def test_sub(self):
+        check_gradients(lambda t: O.sub(t[0], t[1]), [_randn(3, 4), _randn(1, 4)])
+
+    def test_mul(self):
+        check_gradients(lambda t: O.mul(t[0], t[1]), [_randn(3, 4), _randn(3, 1)])
+
+    def test_div(self):
+        b = np.abs(_randn(3, 4)) + 1.0
+        check_gradients(lambda t: O.div(t[0], t[1]), [_randn(3, 4), b])
+
+    def test_scalars(self):
+        check_gradients(
+            lambda t: O.mul_scalar(O.add_scalar(t[0], 1.5), -2.0), [_randn(5)]
+        )
+
+    def test_rsub_scalar(self):
+        check_gradients(lambda t: O.rsub_scalar(t[0], 3.0), [_randn(4)])
+
+    def test_pow_scalar(self):
+        x = np.abs(_randn(3, 3)) + 0.5
+        check_gradients(lambda t: O.pow_scalar(t[0], 3.0), [x])
+
+    def test_neg_exp_log_sqrt(self):
+        x = np.abs(_randn(4, 4)) + 0.5
+        check_gradients(
+            lambda t: O.neg(O.log(O.sqrt(O.exp(t[0])))), [x], rtol=1e-3
+        )
+
+
+class TestActivationGradients:
+    def test_tanh(self):
+        check_gradients(lambda t: O.tanh(t[0]), [_randn(3, 5)])
+
+    def test_sigmoid(self):
+        check_gradients(lambda t: O.sigmoid(t[0]), [_randn(3, 5)])
+
+    def test_relu(self):
+        # Keep values away from the kink for finite differences.
+        x = _randn(3, 5)
+        x[np.abs(x) < 0.1] = 0.5
+        check_gradients(lambda t: O.relu(t[0]), [x])
+
+
+class TestMatmulGradients:
+    @pytest.mark.parametrize("ta,tb", [(False, False), (False, True),
+                                       (True, False), (True, True)])
+    def test_matmul_transposes(self, ta, tb):
+        a_shape = (5, 3) if ta else (3, 5)
+        b_shape = (4, 5) if tb else (5, 4)
+        check_gradients(
+            lambda t: O.matmul(t[0], t[1], ta=ta, tb=tb),
+            [_randn(*a_shape), _randn(*b_shape)],
+        )
+
+    @pytest.mark.parametrize("ta,tb", [(False, False), (False, True),
+                                       (True, False), (True, True)])
+    def test_batch_dot(self, ta, tb):
+        a_shape = (2, 5, 3) if ta else (2, 3, 5)
+        b_shape = (2, 4, 5) if tb else (2, 5, 4)
+        check_gradients(
+            lambda t: O.batch_dot(t[0], t[1], ta=ta, tb=tb),
+            [_randn(*a_shape), _randn(*b_shape)],
+        )
+
+    def test_fully_connected_with_bias(self):
+        check_gradients(
+            lambda t: O.fully_connected(t[0], t[1], t[2]),
+            [_randn(4, 3), _randn(6, 3), _randn(6)],
+        )
+
+    def test_fully_connected_col_major_matches(self):
+        from repro.layout import Layout
+
+        check_gradients(
+            lambda t: O.fully_connected(t[0], t[1], t[2], layout=Layout.COL_MAJOR),
+            [_randn(4, 3), _randn(6, 3), _randn(6)],
+        )
+
+
+class TestReduceGradients:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
+                                               (1, True), (-1, False)])
+    def test_reduce_sum(self, axis, keepdims):
+        check_gradients(
+            lambda t: O.reduce_sum(t[0], axis=axis, keepdims=keepdims),
+            [_randn(3, 4)],
+        )
+
+    @pytest.mark.parametrize("axis", [None, 0, 1])
+    def test_reduce_mean(self, axis):
+        check_gradients(lambda t: O.reduce_mean(t[0], axis=axis), [_randn(3, 4)])
+
+    def test_reduce_max(self):
+        x = _randn(4, 5)  # distinct values almost surely
+        check_gradients(lambda t: O.reduce_max(t[0], axis=1), [x])
+
+
+class TestShapeOpGradients:
+    def test_reshape(self):
+        check_gradients(lambda t: O.reshape(t[0], (6, 2)), [_randn(3, 4)])
+
+    def test_transpose(self):
+        check_gradients(lambda t: O.transpose(t[0], (2, 0, 1)), [_randn(2, 3, 4)])
+
+    def test_slice_axis(self):
+        check_gradients(lambda t: O.slice_axis(t[0], 1, 1, 3), [_randn(2, 5)])
+
+    def test_concat(self):
+        check_gradients(
+            lambda t: O.concat([t[0], t[1]], axis=1), [_randn(2, 3), _randn(2, 2)]
+        )
+
+    def test_split_partial_use(self):
+        def build(t):
+            a, b, c = O.split(t[0], 3, axis=1)
+            return O.add(a, c)  # middle piece unused -> zeros grad path
+
+        check_gradients(build, [_randn(2, 6)])
+
+    def test_broadcast_to(self):
+        check_gradients(lambda t: O.broadcast_to(t[0], (4, 3, 5)), [_randn(3, 1)])
+
+    def test_expand_dims(self):
+        check_gradients(lambda t: O.expand_dims(t[0], 1), [_randn(3, 4)])
+
+    def test_sequence_reverse(self):
+        check_gradients(lambda t: O.sequence_reverse(t[0]), [_randn(5, 2, 3)])
+
+
+class TestFusedAndNormalizationGradients:
+    def test_softmax(self):
+        check_gradients(lambda t: O.softmax(t[0], axis=-1), [_randn(3, 6)])
+
+    def test_layer_norm(self):
+        check_gradients(
+            lambda t: O.layer_norm(t[0], t[1], t[2]),
+            [_randn(3, 8), _randn(8) + 1.0, _randn(8)],
+            rtol=1e-3,
+            atol=1e-5,
+        )
+
+    def test_lstm_gates(self):
+        def build(t):
+            h, c = O.lstm_gates(t[0], t[1])
+            return O.add(h, c)
+
+        check_gradients(build, [_randn(3, 16), _randn(3, 4)])
+
+    def test_lstm_gates_only_h_used(self):
+        def build(t):
+            h, _c = O.lstm_gates(t[0], t[1])
+            return h
+
+        check_gradients(build, [_randn(2, 8), _randn(2, 2)])
+
+    def test_softmax_cross_entropy(self):
+        labels = np.array([0, 2, 1], dtype=np.int64)
+
+        def build(t):
+            return O.softmax_cross_entropy(t[0], O.constant(labels))
+
+        check_gradients(build, [_randn(3, 4)], rtol=1e-3)
+
+    def test_softmax_cross_entropy_ignore_label(self):
+        labels = np.array([0, -1, 1, -1], dtype=np.int64)
+
+        def build(t):
+            return O.softmax_cross_entropy(t[0], O.constant(labels))
+
+        check_gradients(build, [_randn(4, 3)], rtol=1e-3)
+
+
+class TestEmbeddingGradient:
+    def test_embedding_scatter_add(self):
+        indices = np.array([[0, 2], [2, 1]], dtype=np.int64)
+
+        def build(t):
+            return O.embedding(t[0], O.constant(indices))
+
+        check_gradients(build, [_randn(4, 3)])
+
+
+class TestOperatorOverloads:
+    def test_expression(self):
+        check_gradients(
+            lambda t: (t[0] * 2.0 + t[1]) / (t[1] * t[1] + 4.0) - 1.0,
+            [_randn(3, 3), _randn(3, 3)],
+        )
+
+    def test_matmul_overload(self):
+        check_gradients(lambda t: t[0] @ t[1], [_randn(2, 3), _randn(3, 4)])

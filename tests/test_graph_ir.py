@@ -1,0 +1,126 @@
+"""Unit tests for the graph IR: specs, nodes, scopes, traversal."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.graph import (
+    ShapeError,
+    Stage,
+    TensorSpec,
+    broadcast_shapes,
+    consumers_map,
+    current_scope,
+    scope,
+    topo_order,
+)
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec((2, 3), np.float32)
+        assert spec.num_elements == 6
+        assert spec.nbytes == 24
+        assert spec.rank == 2
+
+    def test_scalar(self):
+        spec = TensorSpec(())
+        assert spec.num_elements == 1
+        assert spec.nbytes == 4
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec((2, -1))
+
+    def test_int64_itemsize(self):
+        assert TensorSpec((4,), np.int64).nbytes == 32
+
+
+class TestBroadcast:
+    def test_matching(self):
+        assert broadcast_shapes((2, 3), (2, 3)) == (2, 3)
+
+    def test_scalar_vs_matrix(self):
+        assert broadcast_shapes((), (2, 3)) == (2, 3)
+
+    def test_expand_ones(self):
+        assert broadcast_shapes((2, 1, 4), (3, 1)) == (2, 3, 4)
+
+    def test_incompatible(self):
+        with pytest.raises(ShapeError):
+            broadcast_shapes((2, 3), (2, 4))
+
+
+class TestScopes:
+    def test_nesting(self):
+        assert current_scope() == ""
+        with scope("encoder"):
+            with scope("rnn"):
+                x = O.placeholder((2,), name="scoped")
+                assert x.node.scope == "encoder/rnn"
+            assert current_scope() == "encoder"
+        assert current_scope() == ""
+
+    def test_slash_rejected(self):
+        with pytest.raises(ValueError):
+            scope("a/b")
+
+    def test_gradient_inherits_forward_scope(self):
+        from repro.autodiff import build_gradients
+
+        with scope("attention"):
+            x = O.placeholder((3, 3), name="att_in")
+            y = O.tanh(x)
+        loss = O.reduce_sum(y)
+        grads = build_gradients(loss, [x])
+        g = grads[x.key]
+        assert g is not None
+        assert g.node.scope == "attention"
+        assert g.node.stage is Stage.BACKWARD
+
+
+class TestTraversal:
+    def test_topo_order_valid(self):
+        a = O.placeholder((2, 2), name="a")
+        b = O.tanh(a)
+        c = O.add(a, b)
+        order = topo_order([c])
+        pos = {n.uid: i for i, n in enumerate(order)}
+        for node in order:
+            for t in node.inputs:
+                assert pos[t.node.uid] < pos[node.uid]
+
+    def test_topo_order_deep_graph_no_recursion_error(self):
+        x = O.placeholder((2,), name="deep")
+        y = x
+        for _ in range(5000):
+            y = O.add_scalar(y, 1.0)
+        assert len(topo_order([y])) == 5001
+
+    def test_consumers_map(self):
+        a = O.placeholder((2,), name="cm")
+        b = O.tanh(a)
+        c = O.add(a, b)
+        cm = consumers_map(topo_order([c]))
+        assert {n.uid for n in cm[a.key]} == {b.node.uid, c.node.uid}
+
+
+class TestNodeConstruction:
+    def test_shape_inference_error_surfaces(self):
+        a = O.placeholder((2, 3), name="bad_a")
+        b = O.placeholder((3, 2), name="bad_b")
+        with pytest.raises(ShapeError):
+            O.add(a, b)
+
+    def test_multi_output_indexing(self):
+        x = O.placeholder((2, 8), name="mo")
+        parts = O.split(x, 4, axis=1)
+        assert len(parts) == 4
+        assert all(p.shape == (2, 2) for p in parts)
+        assert len({p.index for p in parts}) == 4
+
+    def test_dtype_mismatch_rejected(self):
+        a = O.placeholder((2,), np.float32, name="dt_a")
+        b = O.placeholder((2,), np.float64, name="dt_b")
+        with pytest.raises(TypeError):
+            O.add(a, b)

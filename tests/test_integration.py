@@ -1,0 +1,187 @@
+"""End-to-end integration tests across the whole stack."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.backends import autotune_backend
+from repro.data import (
+    BucketedTranslationBatches,
+    TranslationTask,
+    default_buckets,
+    lm_batches,
+    markov_corpus,
+)
+from repro.echo import optimize
+from repro.gpumodel import DeviceModel
+from repro.models import NmtConfig, WordLmConfig, build_nmt, build_word_lm
+from repro.nn import Backend
+from repro.profiler import profile_memory, profile_runtime
+from repro.runtime import TrainingExecutor
+from repro.train import (
+    Adam,
+    BeamSearchDecoder,
+    BucketedTrainer,
+    GreedyDecoder,
+    Trainer,
+    corpus_bleu,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestLanguageModelingPipeline:
+    def test_autotune_build_train_converges(self):
+        """The full transparent flow: microbenchmark -> backend -> train."""
+        vocab, hidden, layers, seq_len, batch = 150, 48, 1, 12, 16
+        choice = autotune_backend(batch, hidden, layers, seq_len).choice
+        assert choice is not Backend.DEFAULT
+
+        cfg = WordLmConfig(
+            vocab_size=vocab, embed_size=hidden, hidden_size=hidden,
+            num_layers=layers, seq_len=seq_len, batch_size=batch,
+            backend=choice,
+        )
+        model = build_word_lm(cfg)
+        optimize(model.graph)
+        trainer = Trainer(model.graph, model.store.initialize(), Adam(8e-3))
+        corpus = markov_corpus(vocab, 60_000, seed=5)
+        records = [
+            trainer.step(feeds)
+            for feeds in itertools.islice(
+                lm_batches(corpus, batch, seq_len), 120
+            )
+        ]
+        assert records[-1].perplexity < records[5].perplexity / 3
+
+    def test_echo_training_equals_baseline_training(self):
+        """Full training runs (not just single steps) stay bitwise equal."""
+        cfg = WordLmConfig(
+            vocab_size=80, embed_size=16, hidden_size=16, num_layers=1,
+            seq_len=8, batch_size=8, backend=Backend.CUDNN,
+        )
+        corpus = markov_corpus(80, 10_000, seed=6)
+
+        def run(echo: bool):
+            model = build_word_lm(cfg)
+            if echo:
+                optimize(model.graph)
+            trainer = Trainer(model.graph, model.store.initialize(),
+                              Adam(5e-3))
+            losses = [
+                trainer.step(feeds).loss
+                for feeds in itertools.islice(lm_batches(corpus, 8, 8), 25)
+            ]
+            return losses, trainer.params
+
+        base_losses, base_params = run(echo=False)
+        echo_losses, echo_params = run(echo=True)
+        assert base_losses == echo_losses
+        for name in base_params:
+            np.testing.assert_array_equal(base_params[name],
+                                          echo_params[name])
+
+
+class TestNmtPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        cfg = NmtConfig(
+            src_vocab_size=100, tgt_vocab_size=100, embed_size=48,
+            hidden_size=48, encoder_layers=1, decoder_layers=1,
+            src_len=9, tgt_len=9, batch_size=12, backend=Backend.CUDNN,
+        )
+        task = TranslationTask(100, 100, 9, 9)
+        model = build_nmt(cfg)
+        optimize(model.graph)
+        params = model.store.initialize()
+        trainer = Trainer(model.graph, params, Adam(4e-3))
+        rng = np.random.default_rng(1)
+        for _ in range(450):
+            trainer.step(task.sample_batch(cfg.batch_size, rng))
+        return cfg, model, params, task
+
+    def test_bleu_improves_over_untrained(self, setup):
+        cfg, model, params, task = setup
+        val = task.sample_batch(cfg.batch_size, np.random.default_rng(42))
+        refs = task.references(val["src_tokens"])
+        decoder = GreedyDecoder(cfg, model.store)
+        trained_bleu = corpus_bleu(decoder.translate(val["src_tokens"],
+                                                     params), refs)
+        fresh = model.store.initialize(seed=123)
+        untrained_bleu = corpus_bleu(
+            decoder.translate(val["src_tokens"], fresh), refs
+        )
+        assert trained_bleu > untrained_bleu + 5.0
+
+    def test_beam_bleu_at_least_near_greedy(self, setup):
+        cfg, model, params, task = setup
+        val = task.sample_batch(cfg.batch_size, np.random.default_rng(43))
+        refs = task.references(val["src_tokens"])
+        greedy = GreedyDecoder(cfg, model.store)
+        beam = BeamSearchDecoder(cfg, model.store, beam_size=4)
+        bleu_g = corpus_bleu(greedy.translate(val["src_tokens"], params),
+                             refs)
+        bleu_b = corpus_bleu(beam.translate(val["src_tokens"], params),
+                             refs)
+        assert bleu_b >= bleu_g - 8.0  # beam must not collapse
+
+    def test_profilers_run_on_optimized_graph(self, setup):
+        cfg, model, params, task = setup
+        ex = TrainingExecutor(model.graph, device=DeviceModel())
+        mem = profile_memory(ex.memory_plan)
+        run = profile_runtime(ex.simulate_cost().timings)
+        assert mem.total_bytes > 0
+        assert run.kernel_seconds > 0
+        assert "attention" in mem.by_layer or "rnn" in mem.by_layer
+
+
+class TestCheckpointedEchoTraining:
+    def test_resume_mid_training_with_echo_graph(self, tmp_path):
+        cfg = WordLmConfig(
+            vocab_size=60, embed_size=12, hidden_size=12, num_layers=1,
+            seq_len=6, batch_size=6, backend=Backend.ECHO,
+        )
+        corpus = markov_corpus(60, 8_000, seed=7)
+
+        def fresh_trainer():
+            model = build_word_lm(cfg)
+            optimize(model.graph)
+            return Trainer(model.graph, model.store.initialize(), Adam(5e-3))
+
+        batches = list(itertools.islice(lm_batches(corpus, 6, 6), 30))
+        a = fresh_trainer()
+        for feeds in batches[:15]:
+            a.step(feeds)
+        save_checkpoint(tmp_path / "mid.npz", a)
+        for feeds in batches[15:]:
+            a.step(feeds)
+
+        b = fresh_trainer()
+        load_checkpoint(tmp_path / "mid.npz", b)
+        for feeds in batches[15:]:
+            b.step(feeds)
+        assert a.history[-1].loss == b.history[-1].loss
+
+
+class TestBucketedNmtPipeline:
+    def test_bucketed_echo_training_and_footprint(self):
+        cfg = NmtConfig(
+            src_vocab_size=80, tgt_vocab_size=80, embed_size=16,
+            hidden_size=16, encoder_layers=1, decoder_layers=1,
+            src_len=12, tgt_len=12, batch_size=8, backend=Backend.CUDNN,
+        )
+        buckets = default_buckets(12, step=6)
+        base = BucketedTrainer(cfg, buckets, Adam(3e-3), echo=False)
+        echo = BucketedTrainer(cfg, buckets, Adam(3e-3), echo=True)
+        assert echo.peak_bytes < base.peak_bytes
+
+        task = TranslationTask(80, 80, 12, 12)
+        data = BucketedTranslationBatches(task, buckets, batch_size=8,
+                                          seed=3)
+        losses = []
+        for _ in range(20):
+            bucket, feeds = data.sample()
+            losses.append(echo.step(bucket, feeds).loss)
+        assert np.isfinite(losses).all()
+        assert np.mean(losses[-4:]) < np.mean(losses[:4])

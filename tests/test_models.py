@@ -1,0 +1,205 @@
+"""Tests for the workload models: word LM, NMT, decode graphs, ResNet."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Stage, topo_order
+from repro.gpumodel import DeviceModel
+from repro.models import (
+    NmtConfig,
+    WordLmConfig,
+    build_nmt,
+    build_word_lm,
+)
+from repro.models.resnet_manifest import (
+    RESNET50_STAGES,
+    resnet50_iteration_seconds,
+    resnet50_throughput,
+)
+from repro.nn import Backend
+from repro.runtime import TrainingExecutor
+from repro.train import GreedyDecoder
+
+
+def _tiny_lm(backend=Backend.CUDNN, **overrides):
+    defaults = dict(
+        vocab_size=60, embed_size=12, hidden_size=12, num_layers=1,
+        seq_len=6, batch_size=4, backend=backend,
+    )
+    defaults.update(overrides)
+    return build_word_lm(WordLmConfig(**defaults))
+
+
+def _tiny_nmt(backend=Backend.CUDNN, **overrides):
+    defaults = dict(
+        src_vocab_size=50, tgt_vocab_size=50, embed_size=10, hidden_size=10,
+        encoder_layers=1, decoder_layers=1, src_len=5, tgt_len=5,
+        batch_size=3, backend=backend,
+    )
+    defaults.update(overrides)
+    return build_nmt(NmtConfig(**defaults))
+
+
+class TestWordLm:
+    def test_placeholders_and_params(self):
+        model = _tiny_lm()
+        assert set(model.graph.placeholders) == {"tokens", "labels"}
+        names = set(model.store.tensors)
+        assert "embedding.weight" in names
+        assert "output.weight" in names
+        assert any(n.startswith("lstm.l0") for n in names)
+
+    def test_runs_and_loss_near_log_vocab(self):
+        model = _tiny_lm()
+        ex = TrainingExecutor(model.graph)
+        gen = np.random.default_rng(0)
+        feeds = {"tokens": gen.integers(0, 60, (6, 4)),
+                 "labels": gen.integers(0, 60, (6, 4))}
+        loss, grads, _ = ex.run(feeds, model.store.initialize())
+        assert abs(loss - np.log(60)) < 1.0
+        assert set(grads) == set(model.store.tensors)
+
+    def test_scopes_cover_components(self):
+        model = _tiny_lm()
+        scopes = {
+            n.scope.split("/")[0]
+            for n in model.graph.nodes()
+            if n.scope and n.stage is Stage.FORWARD
+        }
+        assert {"embedding", "rnn", "output"} <= scopes
+
+    def test_dropout_variant_builds(self):
+        model = _tiny_lm(dropout=0.2, num_layers=2)
+        assert any(
+            n.op.name == "dropout" for n in model.graph.nodes()
+        )
+
+    def test_degenerate_config_rejected(self):
+        with pytest.raises(ValueError):
+            WordLmConfig(vocab_size=1)
+
+    def test_memory_scales_linearly_with_batch(self):
+        peaks = []
+        for batch in (4, 8):
+            model = _tiny_lm(batch_size=batch)
+            peaks.append(TrainingExecutor(model.graph).peak_bytes)
+        # Activations dominate -> close to proportional (weights constant).
+        ratio = peaks[1] / peaks[0]
+        assert 1.4 < ratio < 2.1
+
+
+class TestNmt:
+    def test_structure(self):
+        model = _tiny_nmt()
+        assert set(model.graph.placeholders) == {
+            "src_tokens", "tgt_tokens", "tgt_labels"
+        }
+        ops = {n.op.name for n in model.graph.nodes()}
+        assert "sequence_reverse" in ops  # bidirectional encoder
+        assert "layer_norm" in ops  # MLP attention
+        assert "batch_dot" in ops  # context computation
+
+    def test_dot_attention_variant(self):
+        model = _tiny_nmt(attention="dot")
+        ops = {n.op.name for n in model.graph.nodes()}
+        assert "layer_norm" not in ops
+
+    def test_bad_attention_rejected(self):
+        with pytest.raises(ValueError):
+            NmtConfig(attention="bilinear")
+
+    def test_cudnn_decoder_falls_back_to_framework_cells(self):
+        """cuDNN can't run the stepwise attention decoder (Section 5.4)."""
+        model = _tiny_nmt(backend=Backend.CUDNN)
+        decoder_gates = [
+            n for n in model.graph.nodes()
+            if n.op.name == "lstm_gates" and "decoder" in str(n.inputs)
+        ]
+        unfused_sigmoids = [
+            n for n in model.graph.nodes()
+            if n.op.name == "sigmoid" and n.scope.startswith("rnn")
+        ]
+        assert unfused_sigmoids, "decoder should use unfused cells"
+
+    def test_teacher_forcing_loss_finite(self):
+        model = _tiny_nmt()
+        ex = TrainingExecutor(model.graph)
+        gen = np.random.default_rng(1)
+        feeds = {
+            "src_tokens": gen.integers(3, 50, (5, 3)),
+            "tgt_tokens": gen.integers(3, 50, (5, 3)),
+            "tgt_labels": gen.integers(3, 50, (5, 3)),
+        }
+        loss, _, _ = ex.run(feeds, model.store.initialize())
+        assert np.isfinite(loss)
+
+    def test_padding_labels_reduce_loss_contributions(self):
+        model = _tiny_nmt()
+        ex = TrainingExecutor(model.graph)
+        gen = np.random.default_rng(2)
+        feeds = {
+            "src_tokens": gen.integers(3, 50, (5, 3)),
+            "tgt_tokens": gen.integers(3, 50, (5, 3)),
+            "tgt_labels": gen.integers(3, 50, (5, 3)),
+        }
+        params = model.store.initialize()
+        loss_full, _, _ = ex.run(feeds, params)
+        feeds["tgt_labels"] = feeds["tgt_labels"].copy()
+        feeds["tgt_labels"][2:] = -1  # mask most positions
+        loss_masked, _, _ = ex.run(feeds, params)
+        assert loss_masked != loss_full
+        assert np.isfinite(loss_masked)
+
+
+class TestGreedyDecoder:
+    def test_decode_shapes_and_determinism(self):
+        cfg = NmtConfig(
+            src_vocab_size=50, tgt_vocab_size=50, embed_size=10,
+            hidden_size=10, encoder_layers=1, decoder_layers=2,
+            src_len=5, tgt_len=6, batch_size=3, backend=Backend.CUDNN,
+        )
+        model = build_nmt(cfg)
+        params = model.store.initialize()
+        decoder = GreedyDecoder(cfg, model.store)
+        gen = np.random.default_rng(3)
+        src = gen.integers(3, 50, (5, 3))
+        out1 = decoder.translate(src, params)
+        out2 = decoder.translate(src, params)
+        assert out1 == out2
+        assert len(out1) == 3
+        assert all(len(s) <= cfg.tgt_len for s in out1)
+        assert all(t != 2 for s in out1 for t in s)  # EOS trimmed
+
+    def test_decoder_step_shares_training_parameters(self):
+        cfg = NmtConfig(
+            src_vocab_size=50, tgt_vocab_size=50, embed_size=10,
+            hidden_size=10, encoder_layers=1, decoder_layers=1,
+            src_len=5, tgt_len=5, batch_size=3, backend=Backend.CUDNN,
+        )
+        model = build_nmt(cfg)
+        before = set(model.store.tensors)
+        GreedyDecoder(cfg, model.store)
+        after = set(model.store.tensors)
+        assert before == after, "decoding must not create new parameters"
+
+
+class TestResnetManifest:
+    def test_total_flops_about_3_9_gflop(self):
+        total = sum(s.flops_per_image for s in RESNET50_STAGES)
+        assert 3.5e9 < total < 4.3e9
+
+    def test_iteration_time_monotone_in_batch(self):
+        device = DeviceModel()
+        times = [resnet50_iteration_seconds(device, b) for b in (1, 8, 64)]
+        assert times[0] < times[1] < times[2]
+
+    def test_throughput_saturates(self):
+        device = DeviceModel()
+        t32 = resnet50_throughput(device, 32)
+        t256 = resnet50_throughput(device, 256)
+        assert t256 / t32 < 1.4
+
+    def test_absolute_throughput_plausible(self):
+        """Calibrated to the MXNet-era published ~200 img/s on Titan Xp."""
+        thr = resnet50_throughput(DeviceModel(), 64)
+        assert 100 < thr < 300

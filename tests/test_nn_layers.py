@@ -1,0 +1,289 @@
+"""Tests for the NN layer zoo: LSTM backends, attention, GRU, embeddings."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.graph import Tensor
+from repro.layout import Layout
+from repro.nn import (
+    Backend,
+    DotAttention,
+    GruCell,
+    LstmCell,
+    MlpAttention,
+    OutputLayer,
+    ParamStore,
+    WordEmbedding,
+)
+from repro.nn.rnn import (
+    bidirectional_lstm,
+    gru_layer,
+    lstm_layer,
+    multilayer_lstm,
+    unstack_time,
+)
+from repro.runtime import GraphExecutor
+from tests.helpers import rng
+
+
+def _run(outputs, feeds, params):
+    ex = GraphExecutor(list(outputs))
+    return ex.run(feeds, params).outputs
+
+
+class TestParamStore:
+    def test_shapes_tracked_and_unique(self):
+        store = ParamStore()
+        a = store.get("layer.w", (4, 3))
+        b = store.get("layer.w", (4, 3))
+        assert a is b
+        with pytest.raises(ValueError):
+            store.get("layer.w", (5, 3))
+        assert store.num_parameters() == 12
+
+    def test_initializers(self):
+        store = ParamStore(seed=1)
+        store.get("w", (64, 64))
+        store.get("b", (64,), init="zeros")
+        store.get("g", (64,), init="ones")
+        values = store.initialize()
+        assert np.all(values["b"] == 0)
+        assert np.all(values["g"] == 1)
+        assert abs(float(values["w"].mean())) < 0.05
+        assert values["w"].dtype == np.float32
+
+    def test_unknown_init_rejected(self):
+        store = ParamStore()
+        store.get("w", (2, 2), init="nonsense")
+        with pytest.raises(ValueError):
+            store.initialize()
+
+    def test_deterministic_initialization(self):
+        s1, s2 = ParamStore(seed=7), ParamStore(seed=7)
+        s1.get("w", (8, 8))
+        s2.get("w", (8, 8))
+        np.testing.assert_array_equal(s1.initialize()["w"],
+                                      s2.initialize()["w"])
+
+
+def _lstm_reference(x_seq, w_x, w_h, bias, hidden):
+    """Pure-numpy reference LSTM over [T x B x I]."""
+    def sig(v):
+        return 1 / (1 + np.exp(-v))
+
+    seq_len, batch, _ = x_seq.shape
+    h = np.zeros((batch, hidden), np.float64)
+    c = np.zeros((batch, hidden), np.float64)
+    outs = []
+    for t in range(seq_len):
+        gates = x_seq[t] @ w_x.T + bias + h @ w_h.T
+        i = sig(gates[:, 0:hidden])
+        f = sig(gates[:, hidden:2 * hidden])
+        g = np.tanh(gates[:, 2 * hidden:3 * hidden])
+        o = sig(gates[:, 3 * hidden:4 * hidden])
+        c = f * c + i * g
+        h = o * np.tanh(c)
+        outs.append(h)
+    return np.stack(outs)
+
+
+class TestLstmBackends:
+    @pytest.mark.parametrize("backend", list(Backend))
+    def test_matches_numpy_reference(self, backend):
+        seq_len, batch, hidden = 4, 3, 6
+        store = ParamStore(seed=2)
+        seq = O.placeholder((seq_len, batch, hidden), name="seq")
+        out, _state = lstm_layer(store, "l", seq, hidden, backend=backend)
+        params = store.initialize()
+        x = rng(3).standard_normal((seq_len, batch, hidden)).astype(np.float32)
+        (result,) = _run([out], {"seq": x}, params)
+        ref = _lstm_reference(
+            x.astype(np.float64), params["l.w_x"].astype(np.float64),
+            params["l.w_h"].astype(np.float64),
+            params["l.bias"].astype(np.float64), hidden,
+        )
+        np.testing.assert_allclose(result, ref, rtol=1e-4, atol=1e-5)
+
+    def test_backends_agree_with_each_other(self):
+        seq_len, batch, hidden = 5, 2, 8
+        x = rng(4).standard_normal((seq_len, batch, hidden)).astype(np.float32)
+        results = {}
+        for backend in Backend:
+            store = ParamStore(seed=9)
+            seq = O.placeholder((seq_len, batch, hidden),
+                                name=f"seq_{backend.value}")
+            out, _ = lstm_layer(store, "l", seq, hidden, backend=backend)
+            (results[backend],) = _run(
+                [out], {f"seq_{backend.value}": x}, store.initialize()
+            )
+        np.testing.assert_allclose(results[Backend.DEFAULT],
+                                   results[Backend.CUDNN], rtol=1e-4,
+                                   atol=1e-6)
+        np.testing.assert_allclose(results[Backend.CUDNN],
+                                   results[Backend.ECHO], rtol=1e-4,
+                                   atol=1e-6)
+
+    def test_final_state_matches_last_output(self):
+        store = ParamStore()
+        seq = O.placeholder((3, 2, 4), name="st_seq")
+        out, state = lstm_layer(store, "l", seq, 4, backend=Backend.CUDNN)
+        x = rng(5).standard_normal((3, 2, 4)).astype(np.float32)
+        hidden, h_final = _run([out, state.h], {"st_seq": x},
+                               store.initialize())
+        np.testing.assert_array_equal(hidden[-1], h_final)
+
+    def test_multilayer_stacking(self):
+        store = ParamStore()
+        seq = O.placeholder((3, 2, 4), name="ml_seq")
+        out, states = multilayer_lstm(store, "stack", seq, 6, 3,
+                                      backend=Backend.CUDNN)
+        assert out.shape == (3, 2, 6)
+        assert len(states) == 3
+        # 3 layers x (w_x, w_h, bias)
+        assert len(store.tensors) == 9
+
+
+class TestBidirectional:
+    def test_shapes_and_direction(self):
+        store = ParamStore(seed=3)
+        seq = O.placeholder((4, 2, 6), name="bi_seq")
+        out = bidirectional_lstm(store, "bi", seq, 6)
+        assert out.shape == (4, 2, 6)
+        x = rng(6).standard_normal((4, 2, 6)).astype(np.float32)
+        (result,) = _run([out], {"bi_seq": x}, store.initialize())
+        # Forward half at t=0 depends only on x[0]; backward half at t=0
+        # depends on the whole sequence. Perturb x[3] and check.
+        x2 = x.copy()
+        x2[3] += 1.0
+        (result2,) = _run([out], {"bi_seq": x2}, store.initialize())
+        np.testing.assert_array_equal(result[0, :, :3], result2[0, :, :3])
+        assert not np.allclose(result[0, :, 3:], result2[0, :, 3:])
+
+    def test_odd_hidden_rejected(self):
+        store = ParamStore()
+        seq = O.placeholder((4, 2, 6), name="bi_seq2")
+        with pytest.raises(ValueError):
+            bidirectional_lstm(store, "bi", seq, 5)
+
+
+class TestGru:
+    def test_gru_layer_matches_reference(self):
+        seq_len, batch, hidden = 4, 2, 5
+        store = ParamStore(seed=8)
+        seq = O.placeholder((seq_len, batch, hidden), name="gru_seq")
+        out = gru_layer(store, "g", seq, hidden)
+        params = store.initialize()
+        x = rng(7).standard_normal((seq_len, batch, hidden)).astype(np.float32)
+        (result,) = _run([out], {"gru_seq": x}, params)
+
+        def sig(v):
+            return 1 / (1 + np.exp(-v))
+
+        w_x = params["g.w_x"].astype(np.float64)
+        w_h = params["g.w_h"].astype(np.float64)
+        bias = params["g.bias"].astype(np.float64)
+        h = np.zeros((batch, hidden))
+        for t in range(seq_len):
+            xp = x[t].astype(np.float64) @ w_x.T + bias
+            hp = h @ w_h.T
+            r = sig(xp[:, :hidden] + hp[:, :hidden])
+            z = sig(xp[:, hidden:2 * hidden] + hp[:, hidden:2 * hidden])
+            n = np.tanh(xp[:, 2 * hidden:] + r * hp[:, 2 * hidden:])
+            h = (1 - z) * n + z * h
+        np.testing.assert_allclose(result[-1], h, rtol=1e-4, atol=1e-5)
+
+    def test_gru_cell_state_shape(self):
+        store = ParamStore()
+        cell = GruCell(store, "gc", 4, 6)
+        x = O.placeholder((3, 4), name="gc_x")
+        h = cell.zero_state(3)
+        out = cell.step(x, h)
+        assert out.shape == (3, 6)
+
+
+class TestAttention:
+    def _setup(self, attention_cls):
+        batch, seq_len, hidden = 3, 5, 8
+        store = ParamStore(seed=4)
+        enc = O.placeholder((batch, seq_len, hidden), name="enc")
+        query = O.placeholder((batch, hidden), name="query")
+        att = attention_cls(store, "att", hidden)
+        state = att.precompute(enc)
+        context = att(query, state)
+        return store, context, batch, seq_len, hidden
+
+    @pytest.mark.parametrize("cls", [MlpAttention, DotAttention])
+    def test_context_shape(self, cls):
+        store, context, batch, _seq, hidden = self._setup(cls)
+        assert context.shape == (batch, hidden)
+
+    def test_context_is_convex_combination_dot(self):
+        """Dot attention context lies in the convex hull of the values."""
+        store, context, batch, seq_len, hidden = self._setup(DotAttention)
+        enc = rng(8).standard_normal((batch, seq_len, hidden)).astype(np.float32)
+        query = rng(9).standard_normal((batch, hidden)).astype(np.float32)
+        (result,) = _run([context], {"enc": enc, "query": query},
+                         store.initialize())
+        mins = enc.min(axis=1) - 1e-5
+        maxs = enc.max(axis=1) + 1e-5
+        assert np.all(result >= mins)
+        assert np.all(result <= maxs)
+
+    def test_mlp_attention_interior_scoped(self):
+        store, context, *_ = self._setup(MlpAttention)
+        from repro.graph import topo_order
+
+        nodes = topo_order([context])
+        scopes = {n.scope for n in nodes if n.op.name == "layer_norm"}
+        assert scopes == {"attention"}
+
+    def test_uniform_keys_give_uniform_weights(self):
+        """If all encoder positions are identical, context == that value."""
+        batch, seq_len, hidden = 2, 6, 4
+        store = ParamStore(seed=5)
+        enc = O.placeholder((batch, seq_len, hidden), name="u_enc")
+        query = O.placeholder((batch, hidden), name="u_query")
+        att = DotAttention(store, "att", hidden)
+        context = att(query, att.precompute(enc))
+        one = rng(10).standard_normal((batch, 1, hidden)).astype(np.float32)
+        enc_v = np.repeat(one, seq_len, axis=1)
+        q_v = rng(11).standard_normal((batch, hidden)).astype(np.float32)
+        (result,) = _run([context], {"u_enc": enc_v, "u_query": q_v},
+                         store.initialize())
+        np.testing.assert_allclose(result, one[:, 0], rtol=1e-5)
+
+
+class TestEmbeddingAndOutput:
+    def test_word_embedding_shape_and_lookup(self):
+        store = ParamStore(seed=6)
+        emb = WordEmbedding(store, "emb", vocab_size=50, embed_size=12)
+        tokens = O.placeholder((7, 3), np.int64, name="tok")
+        out = emb(tokens)
+        assert out.shape == (7, 3, 12)
+        params = store.initialize()
+        ids = np.zeros((7, 3), np.int64)
+        (result,) = _run([out], {"tok": ids}, params)
+        np.testing.assert_array_equal(result[0, 0], params["emb.weight"][0])
+
+    def test_output_layer_loss_is_scalar_and_positive(self):
+        store = ParamStore(seed=7)
+        layer = OutputLayer(store, "out", hidden_size=8, vocab_size=30)
+        hidden = O.placeholder((4, 2, 8), name="oh")
+        labels = O.placeholder((4, 2), np.int64, name="ol")
+        loss = layer.loss(hidden, labels)
+        assert loss.shape == ()
+        h = rng(12).standard_normal((4, 2, 8)).astype(np.float32)
+        y = rng(13).integers(0, 30, (4, 2))
+        (val,) = _run([loss], {"oh": h, "ol": y}, store.initialize())
+        assert float(val) > 0
+
+    def test_unstack_time_roundtrip(self):
+        seq = O.placeholder((5, 2, 3), name="ut")
+        steps = unstack_time(seq)
+        assert len(steps) == 5
+        assert all(s.shape == (2, 3) for s in steps)
+        restacked = O.concat([O.expand_dims(s, 0) for s in steps], axis=0)
+        x = rng(14).standard_normal((5, 2, 3)).astype(np.float32)
+        (result,) = _run([restacked], {"ut": x}, {})
+        np.testing.assert_array_equal(result, x)

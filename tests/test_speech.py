@@ -1,0 +1,255 @@
+"""Tests for the speech stack: conv2d, CTC loss, DS2 model, speech task."""
+
+import itertools
+
+import numpy as np
+import pytest
+from scipy import signal
+
+import repro.ops as O
+from repro.data import SpeechTask, exact_match_rate
+from repro.echo import optimize
+from repro.graph import ShapeError
+from repro.models import (
+    DeepSpeechConfig,
+    build_deepspeech,
+    ctc_greedy_decode,
+)
+from repro.runtime import GraphExecutor, TrainingExecutor
+from tests.helpers import check_gradients, rng
+
+
+class TestConv2dForward:
+    def test_matches_scipy_correlate(self):
+        x = rng(0).standard_normal((1, 1, 7, 6)).astype(np.float32)
+        w = rng(1).standard_normal((1, 1, 3, 3)).astype(np.float32)
+        px = O.placeholder(x.shape, name="cv_x")
+        pw = O.placeholder(w.shape, name="cv_w")
+        out = GraphExecutor([O.conv2d(px, pw, stride=1, pad=0)]).run(
+            {"cv_x": x, "cv_w": w}
+        ).outputs[0]
+        ref = signal.correlate2d(x[0, 0], w[0, 0], mode="valid")
+        np.testing.assert_allclose(out[0, 0], ref, rtol=1e-4, atol=1e-5)
+
+    def test_multi_channel_sums(self):
+        x = rng(2).standard_normal((2, 3, 5, 5)).astype(np.float32)
+        w = rng(3).standard_normal((4, 3, 3, 3)).astype(np.float32)
+        px, pw = O.placeholder(x.shape, name="mc_x"), O.placeholder(
+            w.shape, name="mc_w")
+        out = GraphExecutor([O.conv2d(px, pw, pad=1)]).run(
+            {"mc_x": x, "mc_w": w}).outputs[0]
+        assert out.shape == (2, 4, 5, 5)
+        ref = np.zeros((5, 5))
+        for c in range(3):
+            ref += signal.correlate2d(
+                np.pad(x[0, c], 1), w[0, c], mode="valid"
+            )
+        np.testing.assert_allclose(out[0, 0], ref, rtol=1e-4, atol=1e-4)
+
+    def test_stride_and_padding_shapes(self):
+        x = O.placeholder((1, 1, 10, 8), name="sp_x")
+        w = O.placeholder((2, 1, 3, 3), name="sp_w")
+        assert O.conv2d(x, w, stride=2, pad=1).shape == (1, 2, 5, 4)
+        assert O.conv2d(x, w, stride=1, pad=0).shape == (1, 2, 8, 6)
+
+    def test_channel_mismatch_rejected(self):
+        x = O.placeholder((1, 2, 5, 5), name="cm_x")
+        w = O.placeholder((2, 3, 3, 3), name="cm_w")
+        with pytest.raises(ShapeError):
+            O.conv2d(x, w)
+
+    def test_gradients(self):
+        check_gradients(
+            lambda t: O.conv2d(t[0], t[1], t[2], stride=2, pad=1),
+            [rng(4).standard_normal((2, 2, 6, 5)),
+             rng(5).standard_normal((3, 2, 3, 3)),
+             rng(6).standard_normal(3)],
+        )
+
+    def test_gradients_no_bias_stride1(self):
+        check_gradients(
+            lambda t: O.conv2d(t[0], t[1], pad=1),
+            [rng(7).standard_normal((1, 2, 4, 4)),
+             rng(8).standard_normal((2, 2, 3, 3))],
+        )
+
+
+def _brute_force_ctc(log_probs: np.ndarray, transcript: list[int],
+                     blank: int = 0) -> float:
+    """Reference CTC likelihood by enumerating all frame labelings."""
+    t_len, vocab = log_probs.shape
+    total = -np.inf
+    for path in itertools.product(range(vocab), repeat=t_len):
+        # Collapse: remove repeats, then blanks.
+        collapsed = []
+        prev = None
+        for s in path:
+            if s != prev:
+                collapsed.append(s)
+            prev = s
+        collapsed = [s for s in collapsed if s != blank]
+        if collapsed == list(transcript):
+            total = np.logaddexp(
+                total, sum(log_probs[t, path[t]] for t in range(t_len))
+            )
+    return -total
+
+
+class TestCtcLoss:
+    def _loss(self, logits, labels):
+        pl = O.placeholder(logits.shape, name="ct_l")
+        out = O.ctc_loss(pl, O.constant(labels))
+        return float(GraphExecutor([out]).run({"ct_l": logits}).outputs[0])
+
+    def test_matches_brute_force(self):
+        gen = np.random.default_rng(9)
+        logits = gen.standard_normal((4, 1, 3)).astype(np.float64)
+        labels = np.array([[1, 2]], np.int64)
+        ours = self._loss(logits, labels)
+        shifted = logits[:, 0] - logits[:, 0].max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(
+            np.exp(shifted).sum(axis=1, keepdims=True))
+        ref = _brute_force_ctc(log_probs, [1, 2])
+        assert abs(ours - ref) < 1e-6
+
+    def test_repeated_label_needs_blank(self):
+        """Transcript 'aa' requires a blank between the a's; with exactly
+        2 frames it is infeasible and the likelihood is ~0."""
+        logits = np.zeros((2, 1, 3), np.float64)
+        labels = np.array([[1, 1]], np.int64)
+        loss = self._loss(logits, labels)
+        assert loss > 20  # -log(0) clamped by log-space floor
+
+    def test_batch_mean(self):
+        gen = np.random.default_rng(10)
+        logits = gen.standard_normal((5, 2, 4))
+        labels = np.array([[1, 2, -1], [3, -1, -1]], np.int64)
+        both = self._loss(logits, labels)
+        first = self._loss(logits[:, :1], labels[:1])
+        second = self._loss(logits[:, 1:], labels[1:])
+        assert abs(both - (first + second) / 2) < 1e-6
+
+    def test_empty_transcript_all_blank(self):
+        logits = np.zeros((3, 1, 2), np.float64)
+        labels = np.array([[-1, -1]], np.int64)
+        loss = self._loss(logits, labels)
+        # Uniform logits: p(blank)=0.5 each frame -> nll = 3*log(2).
+        assert abs(loss - 3 * np.log(2)) < 1e-6
+
+    def test_gradient_numerically(self):
+        labels = np.array([[2, 1, -1]], np.int64)
+        check_gradients(
+            lambda t: O.ctc_loss(t[0], O.constant(labels)),
+            [rng(11).standard_normal((5, 1, 4))],
+            rtol=1e-3,
+            atol=1e-6,
+        )
+
+    def test_too_long_transcript_rejected_at_runtime(self):
+        logits = np.zeros((2, 1, 3), np.float32)
+        labels = np.array([[1, 2, 1]], np.int64)
+        pl = O.placeholder(logits.shape, name="ct_long")
+        out = O.ctc_loss(pl, O.constant(labels))
+        from repro.runtime import ExecutionError
+
+        with pytest.raises(ExecutionError, match="cannot align"):
+            GraphExecutor([out]).run({"ct_long": logits})
+
+
+class TestGreedyCtcDecode:
+    def test_collapse_and_blank_removal(self):
+        # Frames argmax: [1, 1, 0, 2, 2, 0, 2]
+        logits = np.full((7, 1, 3), -5.0, np.float32)
+        for t, s in enumerate([1, 1, 0, 2, 2, 0, 2]):
+            logits[t, 0, s] = 5.0
+        assert ctc_greedy_decode(logits) == [[1, 2, 2]]
+
+    def test_all_blank_is_empty(self):
+        logits = np.zeros((4, 2, 3), np.float32)
+        logits[:, :, 0] = 5.0
+        assert ctc_greedy_decode(logits) == [[], []]
+
+
+class TestSpeechTask:
+    def test_batch_shapes(self):
+        task = SpeechTask(12, 16, 30, 6)
+        feeds = task.sample_batch(5, np.random.default_rng(0))
+        assert feeds["features"].shape == (30, 5, 16)
+        assert feeds["ctc_labels"].shape == (5, 6)
+        assert feeds["ctc_labels"].max() < 12
+
+    def test_transcripts_strip_padding(self):
+        task = SpeechTask(12, 16, 30, 6)
+        feeds = task.sample_batch(4, np.random.default_rng(1))
+        refs = task.transcripts(feeds["ctc_labels"])
+        assert all(all(t >= 1 for t in r) for r in refs)
+
+    def test_exact_match_rate(self):
+        assert exact_match_rate([[1, 2]], [[1, 2]]) == 1.0
+        assert exact_match_rate([[1]], [[1, 2]]) == 0.0
+        with pytest.raises(ValueError):
+            exact_match_rate([[1]], [])
+
+    def test_degenerate_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SpeechTask(2, 16, 30, 6)
+        with pytest.raises(ValueError):
+            SpeechTask(12, 16, 8, 6)
+
+
+class TestDeepSpeechModel:
+    def _cfg(self, **over):
+        base = dict(
+            vocab_size=10, feat_dim=12, num_frames=24, conv_channels=4,
+            hidden_size=16, num_layers=1, max_label_len=5, batch_size=4,
+        )
+        base.update(over)
+        return DeepSpeechConfig(**base)
+
+    def test_builds_with_expected_scopes(self):
+        model = build_deepspeech(self._cfg())
+        from repro.graph import Stage
+
+        scopes = {
+            n.scope.split("/")[0]
+            for n in model.graph.nodes()
+            if n.scope and n.stage is Stage.FORWARD
+        }
+        assert {"conv", "rnn", "output"} <= scopes
+
+    def test_loss_and_gradients_flow(self):
+        model = build_deepspeech(self._cfg())
+        task = SpeechTask(10, 12, 24, 5)
+        feeds = task.sample_batch(4, np.random.default_rng(2))
+        ex = TrainingExecutor(model.graph)
+        loss, grads, _ = ex.run(feeds, model.store.initialize())
+        assert np.isfinite(loss)
+        assert np.any(grads["conv1.w"] != 0)
+        assert np.any(grads["birnn.l0.fwd.w_x"] != 0)
+
+    def test_echo_bitwise_identical_on_ds2(self):
+        model = build_deepspeech(self._cfg())
+        task = SpeechTask(10, 12, 24, 5)
+        feeds = task.sample_batch(4, np.random.default_rng(3))
+        params = model.store.initialize()
+        l0, g0, _ = TrainingExecutor(model.graph).run(feeds, params)
+        optimize(model.graph)
+        l1, g1, _ = TrainingExecutor(model.graph).run(feeds, params)
+        assert l0 == l1
+        for k in g0:
+            np.testing.assert_array_equal(g0[k], g1[k])
+
+    def test_conv_nodes_never_mirrored(self):
+        """Convolutions are GEMM-class: Echo must not recompute them."""
+        model = build_deepspeech(self._cfg(num_layers=2))
+        optimize(model.graph)
+        from repro.graph import Stage
+        from repro.runtime import schedule
+
+        for node in schedule(model.graph.outputs):
+            if node.stage is Stage.RECOMPUTE:
+                assert not node.op.name.startswith("conv2d")
+
+    def test_infeasible_alignment_config_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            self._cfg(num_frames=10, max_label_len=5)

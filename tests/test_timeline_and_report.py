@@ -1,0 +1,77 @@
+"""Tests for the ASCII timeline renderer and the headline report driver."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.ops as O
+from repro.autodiff import compile_training
+from repro.profiler import compare_timelines, format_timeline, sparkline
+from repro.runtime import TrainingExecutor
+
+
+def _plan(scale=1):
+    x = O.placeholder((8 * scale, 16), name=f"tl_x{scale}")
+    w = O.variable((16, 16), name=f"tl_w{scale}")
+    h = O.tanh(O.fully_connected(x, w))
+    loss = O.reduce_mean(O.mul(h, h))
+    tg = compile_training(loss, {f"tl_w{scale}": w}, {f"tl_x{scale}": x})
+    return TrainingExecutor(tg).memory_plan
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_capped_at_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_max_renders_full_bar(self):
+        line = sparkline([0, 10])
+        assert line[-1] == "█"
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=300))
+    def test_never_crashes_and_bounded(self, values):
+        line = sparkline(values, width=50)
+        assert 1 <= len(line) <= 50
+
+
+class TestTimelineFormat:
+    def test_contains_peak_annotation(self):
+        text = format_timeline(_plan(), label="unit")
+        assert "unit: peak" in text
+        assert "^peak" in text
+
+    def test_compare_shares_scale(self):
+        small, big = _plan(1), _plan(4)
+        text = compare_timelines(small, big)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        # The larger plan should contain the taller bar.
+        assert "█" in lines[1]
+        assert "█" not in lines[0]
+
+
+class TestHeadlineReport:
+    @pytest.mark.slow
+    def test_report_runs_and_reproduces_headlines(self):
+        from repro.experiments.report import run_report
+
+        buf = io.StringIO()
+        rows = run_report(out=buf)
+        text = buf.getvalue()
+        assert "headline results" in text
+        claims = {claim: measured for claim, _paper, measured in rows}
+        reduction = float(
+            claims["footprint reduction at equal batch"].rstrip("x")
+        )
+        assert reduction > 2.0
+        attention = claims["attention share of NMT memory"]
+        assert int(attention.rstrip("%")) > 45

@@ -1,0 +1,144 @@
+"""Tests for graph printing/summaries and trainer checkpointing."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.autodiff import compile_training
+from repro.echo import EchoConfig, optimize
+from repro.graph import Stage, format_graph, scope, summarize
+from repro.models import WordLmConfig, build_word_lm
+from repro.train import Adam, SGD, Trainer, load_checkpoint, save_checkpoint
+
+
+def _graph():
+    x = O.placeholder((4, 8), name="gp_x")
+    with scope("body"):
+        w = O.variable((3, 8), name="gp_w")
+        y = O.tanh(O.fully_connected(x, w))
+    loss = O.reduce_mean(y)
+    return compile_training(loss, {"gp_w": w}, {"gp_x": x})
+
+
+class TestGraphPrinting:
+    def test_summary_counts(self):
+        tg = _graph()
+        summary = summarize(tg.outputs)
+        assert summary.num_nodes == len(tg.nodes())
+        assert summary.by_op["fully_connected"] == 1
+        assert summary.by_stage["forward"] > 0
+        assert summary.by_stage["backward"] > 0
+        assert "body" in summary.by_scope
+        assert summary.total_output_bytes > 0
+
+    def test_format_graph_lists_every_node(self):
+        tg = _graph()
+        text = format_graph(tg.outputs)
+        assert text.count("\n") + 1 == len(tg.nodes())
+        assert "tanh" in text
+        assert "@body" in text
+
+    def test_truncation(self):
+        tg = _graph()
+        text = format_graph(tg.outputs, max_nodes=3)
+        assert "more nodes)" in text
+
+    def test_stage_filter_shows_mirrors(self):
+        # Build an echo-optimized graph and list only recompute nodes.
+        queries = [O.placeholder((4, 8), name=f"gp_q{t}") for t in range(3)]
+        keys = O.placeholder((4, 6, 8), name="gp_keys")
+        w = O.variable((8, 8), name="gp_w2")
+        total = None
+        for q in queries:
+            interior = O.tanh(O.add(O.expand_dims(
+                O.fully_connected(q, w), 1), keys))
+            flat = O.reshape(interior, (24, 8))
+            s = O.reduce_sum(O.mul(flat, flat))
+            total = s if total is None else O.add(total, s)
+        ph = {f"gp_q{t}": q for t, q in enumerate(queries)}
+        ph["gp_keys"] = keys
+        tg = compile_training(total, {"gp_w2": w}, ph)
+        optimize(tg, EchoConfig(overhead_budget_fraction=0.5))
+        text = format_graph(tg.outputs, stages=[Stage.RECOMPUTE])
+        assert "__recompute" in text
+        summary = summarize(tg.outputs)
+        assert summary.by_stage.get("recompute", 0) > 0
+
+    def test_summary_format_readable(self):
+        text = summarize(_graph().outputs).format()
+        assert "nodes" in text
+        assert "top ops" in text
+
+
+class TestCheckpointing:
+    def _trainer(self, optimizer):
+        cfg = WordLmConfig(
+            vocab_size=40, embed_size=8, hidden_size=8, num_layers=1,
+            seq_len=5, batch_size=4,
+        )
+        model = build_word_lm(cfg)
+        return Trainer(model.graph, model.store.initialize(), optimizer)
+
+    def _feeds(self, seed=0):
+        gen = np.random.default_rng(seed)
+        return {"tokens": gen.integers(0, 40, (5, 4)),
+                "labels": gen.integers(0, 40, (5, 4))}
+
+    def test_roundtrip_resumes_identically(self, tmp_path):
+        a = self._trainer(Adam(1e-2))
+        for i in range(5):
+            a.step(self._feeds(i))
+        save_checkpoint(tmp_path / "ckpt.npz", a)
+
+        b = self._trainer(Adam(1e-2))
+        meta = load_checkpoint(tmp_path / "ckpt.npz", b)
+        assert meta["trainer_step"] == 5
+
+        # Continuing either trainer on the same data is identical.
+        ra = a.step(self._feeds(100))
+        rb = b.step(self._feeds(100))
+        assert ra.loss == rb.loss
+        for name in a.params:
+            np.testing.assert_array_equal(a.params[name], b.params[name])
+
+    def test_sgd_momentum_state_restored(self, tmp_path):
+        a = self._trainer(SGD(0.1, momentum=0.9))
+        for i in range(3):
+            a.step(self._feeds(i))
+        save_checkpoint(tmp_path / "m.npz", a)
+        b = self._trainer(SGD(0.1, momentum=0.9))
+        load_checkpoint(tmp_path / "m.npz", b)
+        ra, rb = a.step(self._feeds(7)), b.step(self._feeds(7))
+        assert ra.loss == rb.loss
+
+    def test_optimizer_mismatch_rejected(self, tmp_path):
+        a = self._trainer(Adam(1e-2))
+        a.step(self._feeds(0))
+        save_checkpoint(tmp_path / "a.npz", a)
+        b = self._trainer(SGD(0.1))
+        with pytest.raises(ValueError, match="optimizer"):
+            load_checkpoint(tmp_path / "a.npz", b)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        a = self._trainer(SGD(0.1))
+        a.step(self._feeds(0))
+        save_checkpoint(tmp_path / "s.npz", a)
+        cfg = WordLmConfig(
+            vocab_size=40, embed_size=16, hidden_size=16, num_layers=1,
+            seq_len=5, batch_size=4,
+        )
+        model = build_word_lm(cfg)
+        b = Trainer(model.graph, model.store.initialize(), SGD(0.1))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_checkpoint(tmp_path / "s.npz", b)
+
+    def test_clock_restored(self, tmp_path):
+        a = self._trainer(SGD(0.1))
+        for i in range(4):
+            a.step(self._feeds(i))
+        save_checkpoint(tmp_path / "c.npz", a)
+        b = self._trainer(SGD(0.1))
+        load_checkpoint(tmp_path / "c.npz", b)
+        record = b.step(self._feeds(9))
+        assert record.samples_seen == 5 * 4
+        assert record.sim_seconds > 4 * b.iteration_seconds * 0.99
