@@ -14,7 +14,7 @@ from repro.echo import apply_manual_recompute, optimize
 from repro.experiments import ZHU_T50, format_table, gib
 from repro.models import build_nmt
 from repro.nn import Backend
-from repro.runtime import TrainingExecutor, schedule
+from repro.runtime import schedule
 from repro.runtime.memory import plan_memory
 
 

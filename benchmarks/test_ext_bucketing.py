@@ -7,15 +7,13 @@ mix) while the footprint is pinned by the largest bucket — and that Echo's
 reduction composes with bucketing (it rewrites every bucket graph).
 """
 
-import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.data import default_buckets
 from repro.experiments import format_table, gib
 from repro.gpumodel import DeviceModel
-from repro.models import NmtConfig, build_nmt
+from repro.models import NmtConfig
 from repro.nn import Backend
-from repro.runtime import TrainingExecutor
 from repro.train import Adam, BucketedTrainer
 
 CFG = NmtConfig(

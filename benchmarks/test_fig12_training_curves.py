@@ -103,7 +103,7 @@ def test_fig12b_larger_batch_converges_faster(benchmark, save_result):
         format_table(
             ["Default t(s)", "BLEU", "Echo-2B t(s)", "BLEU"],
             rows,
-            f"Figure 12b: validation BLEU vs simulated wall clock "
+            "Figure 12b: validation BLEU vs simulated wall clock "
             f"(target {TARGET_BLEU})",
         )
         + f"\ntime-to-target: Default B={small.batch_size}: {t_small}, "

@@ -35,11 +35,11 @@ def test_fig13_memory_and_throughput(benchmark, save_result):
             rows,
             "Figure 13: GPU memory and throughput, Default vs Echo",
         )
-        + f"\nfootprint reduction at equal B: "
+        + "\nfootprint reduction at equal B: "
         f"{base.total_bytes / echo_same_b.total_bytes:.2f}x"
-        + f"\nthroughput at equal B: "
+        + "\nthroughput at equal B: "
         f"{echo_same_b.throughput / base.throughput:.3f}x"
-        + f"\nthroughput with doubled B: "
+        + "\nthroughput with doubled B: "
         f"{echo_2b.throughput / base.throughput:.2f}x",
     )
 

@@ -39,7 +39,7 @@ def test_fig15_vs_cudnn(benchmark, save_result):
         + f"\nCuDNN over Default: {cudnn.throughput / base.throughput:.3f}x "
         f"throughput, {cudnn.total_bytes / base.total_bytes:.3f}x memory"
         + f"\nEcho over CuDNN: {echo_2b.throughput / cudnn.throughput:.2f}x "
-        f"throughput",
+        "throughput",
     )
     # cuDNN speeds training up somewhat at equal batch...
     assert 1.0 < cudnn.throughput / base.throughput < 1.6

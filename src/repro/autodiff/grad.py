@@ -15,7 +15,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.graph import Node, Stage, Tensor, topo_order
+from repro.graph import Stage, Tensor, topo_order
 from repro.graph.node import _SCOPES
 from repro.ops.elementwise import add
 from repro.ops.source import constant

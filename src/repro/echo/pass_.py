@@ -7,6 +7,14 @@ weakest candidates if the *measured* peak failed to improve — recomputation
 must never increase the footprint (the paper's safety property; naive
 checkpointing can violate it through stash-set growth or eager workspace
 spikes).
+
+Planning artifacts (schedule, memory plan, iteration cost) are memoized in
+a :class:`repro.runtime.plancache.PlanCache` keyed by graph signature: the
+rollback loop repeatedly re-plans the same intermediate graph states, and
+rolling a rewrite back restores a previously-seen signature, so the replay
+becomes cache hits instead of full re-simulations. Results are identical
+by construction — the cache only skips rebuilding what the same signature
+already built.
 """
 
 from __future__ import annotations
@@ -22,8 +30,8 @@ from repro.echo.analysis import (
 from repro.echo.config import EchoConfig
 from repro.echo.rewrite import AppliedCandidate, apply_candidate
 from repro.gpumodel import DeviceModel
-from repro.runtime.memory import MemoryPlan, plan_memory
-from repro.runtime.scheduler import schedule
+from repro.runtime.memory import MemoryPlan
+from repro.runtime.plancache import PlanCache, default_plan_cache, graph_signature
 
 
 @dataclass
@@ -80,18 +88,30 @@ class EchoPass:
         self,
         config: EchoConfig | None = None,
         device: DeviceModel | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.config = config or EchoConfig()
         self.device = device or DeviceModel()
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else default_plan_cache()
+        )
+
+    def _replan(self, outputs) -> tuple[list, MemoryPlan]:
+        """Schedule + memory-plan the current graph state, memoized."""
+        order = self.plan_cache.schedule_for(outputs)
+        plan = self.plan_cache.plan_for(outputs, order=order)
+        return order, plan
 
     def run(self, graph: TrainingGraph) -> EchoReport:
         cfg = self.config
         outputs = graph.outputs
         output_keys = {t.key for t in outputs}
 
-        order = schedule(outputs)
-        baseline_plan = plan_memory(order, outputs)
-        iteration = estimate_iteration_cost(order, self.device)
+        order, baseline_plan = self._replan(outputs)
+        iteration = self.plan_cache.memo(
+            ("itercost", graph_signature(outputs), self.device.spec),
+            lambda: estimate_iteration_cost(order, self.device),
+        )
         budget = cfg.overhead_budget_fraction * iteration.seconds
 
         candidates = mine_candidates(
@@ -196,8 +216,7 @@ class EchoPass:
             report.optimized_plan = baseline_plan
             return report
 
-        new_order = schedule(outputs)
-        new_plan = plan_memory(new_order, outputs)
+        _new_order, new_plan = self._replan(outputs)
 
         if cfg.verify_with_replan:
             # Footprint safety: drop weakest candidates until the measured
@@ -214,10 +233,9 @@ class EchoPass:
                 extra_kernel -= victim.candidate.kernel_seconds
                 extra_api -= victim.candidate.api_seconds
                 spent = iteration.marginal(extra_kernel, extra_api)
-                new_order = schedule(outputs)
-                new_plan = plan_memory(new_order, outputs)
+                _new_order, new_plan = self._replan(outputs)
             if not applied:
-                new_plan = plan_memory(schedule(outputs), outputs)
+                _new_order, new_plan = self._replan(outputs)
 
         report.recompute_seconds = spent
         report.optimized_peak_bytes = new_plan.peak_bytes
@@ -229,6 +247,7 @@ def optimize(
     graph: TrainingGraph,
     config: EchoConfig | None = None,
     device: DeviceModel | None = None,
+    plan_cache: PlanCache | None = None,
 ) -> EchoReport:
     """One-call entry point: run the Echo pass on a training graph."""
-    return EchoPass(config, device).run(graph)
+    return EchoPass(config, device, plan_cache).run(graph)

@@ -77,8 +77,8 @@ def run_report(out=sys.stdout) -> list[tuple[str, str, str]]:
         "Echo reproduction — headline results",
     ), file=out)
     print(f"\n(computed in {time.time() - start:.1f}s; "
-          f"full per-figure record in EXPERIMENTS.md, regenerate with "
-          f"`pytest benchmarks/ --benchmark-only`)", file=out)
+          "full per-figure record in EXPERIMENTS.md, regenerate with "
+          "`pytest benchmarks/ --benchmark-only`)", file=out)
     return rows
 
 

@@ -37,6 +37,21 @@ class Op:
     name: str = "op"
     #: whether the Echo pass may mirror this op into the backward pass
     recompute_cheap: bool = False
+    #: whether :meth:`compute_into` avoids allocating its outputs (the
+    #: compiled executor only routes arena buffers to ops that opt in)
+    supports_out: bool = False
+    #: whether the compiled plan's elementwise fusion pass may absorb this
+    #: op into a single-buffer chain (single-output elementwise ops only)
+    fusion_eligible: bool = False
+    #: input positions whose buffer may alias the output buffer when
+    #: :meth:`compute_into` runs (element i of the output depends only on
+    #: element i of these inputs); fusion chains only thread the
+    #: accumulator through these positions
+    inplace_operands: tuple[int, ...] = ()
+    #: whether :meth:`compute` may return a view of an input (reshape,
+    #: expand_dims) — such outputs share their input's storage and the
+    #: compiled plan keeps the underlying buffer alive for both
+    may_alias: bool = False
 
     # -- graph-construction interface --------------------------------------
 
@@ -65,6 +80,25 @@ class Op:
     ) -> list[np.ndarray]:
         """Run the numpy kernel; must return one array per output."""
         raise NotImplementedError
+
+    def compute_into(
+        self,
+        node: Node,
+        inputs: Sequence[np.ndarray],
+        outs: Sequence[np.ndarray],
+    ) -> None:
+        """Run the kernel writing results into pre-allocated ``outs``.
+
+        Must be bitwise-identical to :meth:`compute`. The generic fallback
+        materializes :meth:`compute`'s results first and copies, which is
+        always alias-safe (inputs are fully read before any write);
+        subclasses that set ``supports_out`` override it with a
+        zero-allocation path.
+        """
+        results = self.compute(node, inputs)
+        for out, arr in zip(outs, results):
+            if out is not arr:
+                np.copyto(out, arr, casting="unsafe")
 
     # -- cost hooks ----------------------------------------------------------
 

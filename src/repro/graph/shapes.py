@@ -16,8 +16,12 @@ def broadcast_shapes(a: Shape, b: Shape) -> Shape:
     for i in range(max(ra, rb)):
         da = a[ra - 1 - i] if i < ra else 1
         db = b[rb - 1 - i] if i < rb else 1
-        if da == db or da == 1 or db == 1:
-            out.append(max(da, db))
+        if da == db:
+            out.append(da)
+        elif da == 1:
+            out.append(db)  # note: 1 broadcasts to 0 (empty tensors)
+        elif db == 1:
+            out.append(da)
         else:
             raise ShapeError(f"cannot broadcast {a} with {b}")
     return tuple(reversed(out))

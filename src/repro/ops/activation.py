@@ -21,15 +21,31 @@ from repro.graph import Node, Op, Tensor, TensorSpec, register
 def _sigmoid(x: np.ndarray) -> np.ndarray:
     # Numerically stable piecewise form.
     out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
+    _sigmoid_into(x, out)
     return out
+
+
+def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> None:
+    # Numerically stable without masked gathers: t = exp(-|x|) never
+    # overflows, and per element the arithmetic is exactly the classic
+    # piecewise form — 1/(1+exp(-x)) for x >= 0, exp(x)/(1+exp(x))
+    # otherwise — so results are bit-identical to it. Alias-safe when
+    # ``out is x``: x is only read before the first write to out.
+    pos = x >= 0
+    t = np.abs(x)
+    np.negative(t, out=t)
+    np.exp(t, out=t)
+    denom = t + 1.0
+    np.divide(t, denom, out=t)  # negative branch: exp(x) / (1 + exp(x))
+    np.divide(1.0, denom, out=denom)  # positive branch: 1 / (1 + exp(-x))
+    out[...] = np.where(pos, denom, t)
 
 
 class _ElementwiseSameShape(Op):
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0,)
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (a,) = node.inputs
@@ -41,6 +57,9 @@ class TanhOp(_ElementwiseSameShape):
 
     def compute(self, node, inputs):
         return [np.tanh(inputs[0])]
+
+    def compute_into(self, node, inputs, outs):
+        np.tanh(inputs[0], out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -54,6 +73,9 @@ class TanhGradOp(Op):
 
     name = "tanh_grad"
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0, 1)
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         y, _dy = node.inputs
@@ -63,12 +85,21 @@ class TanhGradOp(Op):
         y, dy = inputs
         return [np.asarray(dy * (1.0 - y * y), dtype=y.dtype)]
 
+    def compute_into(self, node, inputs, outs):
+        y, dy = inputs
+        t = np.multiply(y, y)
+        np.subtract(1.0, t, out=t)
+        np.multiply(dy, t, out=outs[0])
+
 
 class SigmoidOp(_ElementwiseSameShape):
     name = "sigmoid"
 
     def compute(self, node, inputs):
         return [np.asarray(_sigmoid(inputs[0]), dtype=inputs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        _sigmoid_into(inputs[0], outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -82,6 +113,9 @@ class SigmoidGradOp(Op):
 
     name = "sigmoid_grad"
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0, 1)
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         y, _dy = node.inputs
@@ -91,12 +125,21 @@ class SigmoidGradOp(Op):
         y, dy = inputs
         return [np.asarray(dy * y * (1.0 - y), dtype=y.dtype)]
 
+    def compute_into(self, node, inputs, outs):
+        y, dy = inputs
+        t = np.subtract(1.0, y)
+        np.multiply(dy, y, out=outs[0])
+        np.multiply(outs[0], t, out=outs[0])
+
 
 class ReluOp(_ElementwiseSameShape):
     name = "relu"
 
     def compute(self, node, inputs):
         return [np.maximum(inputs[0], 0.0)]
+
+    def compute_into(self, node, inputs, outs):
+        np.maximum(inputs[0], 0.0, out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -110,6 +153,9 @@ class ReluGradOp(Op):
 
     name = "relu_grad"
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0, 1)
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         x, _dy = node.inputs
@@ -118,6 +164,11 @@ class ReluGradOp(Op):
     def compute(self, node, inputs):
         x, dy = inputs
         return [np.asarray(dy * (x > 0.0), dtype=x.dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        x, dy = inputs
+        m = np.greater(x, 0.0)
+        np.multiply(dy, m, out=outs[0])
 
 
 _TANH = register(TanhOp())

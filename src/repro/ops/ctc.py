@@ -126,7 +126,7 @@ class CtcLossOp(Op):
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         logits, labels = node.inputs
         if len(logits.shape) != 3:
-            raise ShapeError(f"CTC logits must be [T x B x V], got "
+            raise ShapeError("CTC logits must be [T x B x V], got "
                              f"{logits.shape}")
         if len(labels.shape) != 2 or labels.shape[0] != logits.shape[1]:
             raise ShapeError(

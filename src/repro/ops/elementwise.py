@@ -12,7 +12,6 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.graph import Node, Op, Tensor, TensorSpec, broadcast_shapes, register
-from repro.graph.shapes import normalize_axis
 
 
 def _unbroadcast(grad: Tensor, target_shape: tuple[int, ...]) -> Tensor:
@@ -37,6 +36,9 @@ class BinaryOp(Op):
     """Broadcasting binary elementwise operator."""
 
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0, 1)
 
     def __init__(self, name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
         self.name = name
@@ -54,6 +56,15 @@ class BinaryOp(Op):
     def compute(self, node: Node, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
         out = self._fn(inputs[0], inputs[1])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        try:
+            self._fn(inputs[0], inputs[1], out=outs[0])
+        except TypeError:
+            # Result dtype not castable same-kind into the out buffer
+            # (e.g. integer division); fall back to compute-and-copy,
+            # which applies the same unsafe cast ``compute`` does.
+            super().compute_into(node, inputs, outs)
 
 
 class _AddOp(BinaryOp):
@@ -113,12 +124,19 @@ class ScalarOp(Op):
     """Elementwise op combining a tensor with a python scalar attribute."""
 
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0,)
 
     def __init__(
-        self, name: str, fn: Callable[[np.ndarray, float], np.ndarray]
+        self,
+        name: str,
+        fn: Callable[[np.ndarray, float], np.ndarray],
+        into_fn: Callable[[np.ndarray, float, np.ndarray], None] | None = None,
     ) -> None:
         self.name = name
         self._fn = fn
+        self._into_fn = into_fn
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (a,) = node.inputs
@@ -128,10 +146,23 @@ class ScalarOp(Op):
         out = self._fn(inputs[0], node.attrs["scalar"])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
 
+    def compute_into(self, node, inputs, outs):
+        if self._into_fn is None:
+            super().compute_into(node, inputs, outs)
+            return
+        try:
+            self._into_fn(inputs[0], node.attrs["scalar"], outs[0])
+        except TypeError:
+            super().compute_into(node, inputs, outs)
+
 
 class _AddScalarOp(ScalarOp):
     def __init__(self) -> None:
-        super().__init__("add_scalar", lambda x, c: x + c)
+        super().__init__(
+            "add_scalar",
+            lambda x, c: x + c,
+            lambda x, c, out: np.add(x, c, out=out),
+        )
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -140,7 +171,11 @@ class _AddScalarOp(ScalarOp):
 
 class _MulScalarOp(ScalarOp):
     def __init__(self) -> None:
-        super().__init__("mul_scalar", lambda x, c: x * c)
+        super().__init__(
+            "mul_scalar",
+            lambda x, c: x * c,
+            lambda x, c, out: np.multiply(x, c, out=out),
+        )
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -153,7 +188,11 @@ class _RSubScalarOp(ScalarOp):
     """c - x."""
 
     def __init__(self) -> None:
-        super().__init__("rsub_scalar", lambda x, c: c - x)
+        super().__init__(
+            "rsub_scalar",
+            lambda x, c: c - x,
+            lambda x, c, out: np.subtract(c, x, out=out),
+        )
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -164,7 +203,11 @@ class _RSubScalarOp(ScalarOp):
 
 class _PowScalarOp(ScalarOp):
     def __init__(self) -> None:
-        super().__init__("pow_scalar", lambda x, c: np.power(x, c))
+        super().__init__(
+            "pow_scalar",
+            lambda x, c: np.power(x, c),
+            lambda x, c, out: np.power(x, c, out=out),
+        )
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -179,6 +222,9 @@ class UnaryOp(Op):
     """Elementwise unary operator."""
 
     recompute_cheap = True
+    supports_out = True
+    fusion_eligible = True
+    inplace_operands = (0,)
 
     def __init__(self, name: str, fn: Callable[[np.ndarray], np.ndarray]):
         self.name = name
@@ -191,6 +237,12 @@ class UnaryOp(Op):
     def compute(self, node: Node, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
         out = self._fn(inputs[0])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        try:
+            self._fn(inputs[0], out=outs[0])
+        except TypeError:
+            super().compute_into(node, inputs, outs)
 
 
 class _NegOp(UnaryOp):

@@ -14,6 +14,7 @@ class EmbeddingOp(Op):
 
     name = "embedding"
     recompute_cheap = True  # a gather; trivially re-executable
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         weight, indices = node.inputs
@@ -26,6 +27,10 @@ class EmbeddingOp(Op):
     def compute(self, node, inputs):
         weight, indices = inputs
         return [weight[indices]]
+
+    def compute_into(self, node, inputs, outs):
+        weight, indices = inputs
+        np.take(weight, indices, axis=0, out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -42,6 +47,7 @@ class EmbeddingGradOp(Op):
     """dW = scatter_add(zeros([V, H]), indices, dy)."""
 
     name = "embedding_grad"
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         _indices, dy = node.inputs
@@ -53,6 +59,13 @@ class EmbeddingGradOp(Op):
         dw = np.zeros((vocab, hidden), dtype=dy.dtype)
         np.add.at(dw, indices.reshape(-1), dy.reshape(-1, hidden))
         return [dw]
+
+    def compute_into(self, node, inputs, outs):
+        indices, dy = inputs
+        hidden = node.out_specs[0].shape[1]
+        dw = outs[0]
+        dw.fill(0)
+        np.add.at(dw, indices.reshape(-1), dy.reshape(-1, hidden))
 
 
 _EMBEDDING = register(EmbeddingOp())

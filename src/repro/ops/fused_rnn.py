@@ -23,9 +23,12 @@ from repro.ops.activation import _sigmoid
 
 def _split_gates(gates: np.ndarray) -> tuple[np.ndarray, ...]:
     h = gates.shape[-1] // 4
+    # input|forget are adjacent columns: one sigmoid call covers both
+    # (elementwise, so bit-identical to two per-gate calls).
+    in_forget = _sigmoid(gates[:, 0 * h:2 * h])
     return (
-        _sigmoid(gates[:, 0 * h:1 * h]),
-        _sigmoid(gates[:, 1 * h:2 * h]),
+        in_forget[:, :h],
+        in_forget[:, h:],
         np.tanh(gates[:, 2 * h:3 * h]),
         _sigmoid(gates[:, 3 * h:4 * h]),
     )
@@ -36,6 +39,7 @@ class LstmGatesOp(Op):
 
     name = "lstm_gates"
     recompute_cheap = True
+    supports_out = True
 
     def num_outputs(self, node: Node) -> int:
         return 2
@@ -59,6 +63,19 @@ class LstmGatesOp(Op):
         h = o * np.tanh(c)
         dtype = gates.dtype
         return [np.asarray(h, dtype=dtype), np.asarray(c, dtype=dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        gates, c_prev = inputs
+        h_out, c_out = outs
+        i, f, g, o = _split_gates(gates)
+        # Same expression tree as ``compute``: c = (f*c_prev) + (i*g),
+        # h = o * tanh(c); the gate temporaries i/g are dead afterwards
+        # and double as scratch.
+        np.multiply(f, c_prev, out=c_out)
+        np.multiply(i, g, out=i)
+        np.add(c_out, i, out=c_out)
+        np.tanh(c_out, out=g)
+        np.multiply(o, g, out=h_out)
 
     def gradient(self, node, out_grads):
         from repro.ops.source import zeros
@@ -95,6 +112,7 @@ class LstmGatesGradOp(Op):
 
     name = "lstm_gates_grad"
     recompute_cheap = True
+    supports_out = True
 
     def num_outputs(self, node: Node) -> int:
         return 2
@@ -130,6 +148,23 @@ class LstmGatesGradOp(Op):
             np.asarray(dgates, dtype=dtype),
             np.asarray(dc_prev, dtype=dtype),
         ]
+
+    def compute_into(self, node, inputs, outs):
+        gates, c_prev, c, dh, dc = inputs
+        dgates_out, dc_prev_out = outs
+        i, f, g, o = _split_gates(gates)
+        tanh_c = np.tanh(c)
+        dc_total = dc + dh * o * (1.0 - tanh_c * tanh_c)
+        do = dh * tanh_c
+        di = dc_total * g
+        df = dc_total * c_prev
+        dg = dc_total * i
+        np.multiply(dc_total, f, out=dc_prev_out)
+        h = gates.shape[-1] // 4
+        dgates_out[:, 0 * h:1 * h] = di * i * (1.0 - i)
+        dgates_out[:, 1 * h:2 * h] = df * f * (1.0 - f)
+        dgates_out[:, 2 * h:3 * h] = dg * (1.0 - g * g)
+        dgates_out[:, 3 * h:4 * h] = do * o * (1.0 - o)
 
     def flops(self, node: Node) -> int:
         return 20 * node.inputs[0].spec.num_elements

@@ -90,7 +90,6 @@ class LayerNormGradOp(Op):
 
     def compute(self, node, inputs):
         x, gamma, mean, rstd, dy = inputs
-        h = x.shape[-1]
         xhat = (x - mean) * rstd
         dxhat = dy * gamma
         # Standard layer-norm backward identities.
@@ -103,7 +102,6 @@ class LayerNormGradOp(Op):
         dgamma = np.sum(dy * xhat, axis=reduce_axes)
         dbeta = np.sum(dy, axis=reduce_axes)
         dtype = x.dtype
-        del h
         return [
             np.asarray(dx, dtype=dtype),
             np.asarray(dgamma, dtype=dtype),

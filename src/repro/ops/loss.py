@@ -68,6 +68,7 @@ class SoftmaxCrossEntropyGradOp(Op):
     """dlogits = dloss * (softmax(logits) - onehot(labels)) / num_valid."""
 
     name = "softmax_cross_entropy_grad"
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         logits = node.inputs[0]
@@ -84,6 +85,21 @@ class SoftmaxCrossEntropyGradOp(Op):
         grad[~valid] = 0.0
         grad *= np.float32(dloss) / count
         return [np.asarray(grad, dtype=logits.dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        logits, labels, dloss = inputs
+        grad = outs[0]
+        # softmax_array written into the out buffer, then the same
+        # in-place adjustments ``compute`` applies to its fresh probs.
+        np.subtract(logits, np.max(logits, axis=-1, keepdims=True), out=grad)
+        np.exp(grad, out=grad)
+        np.divide(grad, np.sum(grad, axis=-1, keepdims=True), out=grad)
+        valid = labels != node.attrs["ignore_label"]
+        count = max(int(valid.sum()), 1)
+        rows = np.arange(logits.shape[0])[valid]
+        grad[rows, labels[valid]] -= 1.0
+        grad[~valid] = 0.0
+        grad *= np.float32(dloss) / count
 
 
 _SOFTMAX_CROSS_ENTROPY = register(SoftmaxCrossEntropyOp())

@@ -33,6 +33,7 @@ class MatMulOp(Op):
     """C = op(A) . op(B) with optional operand transposes."""
 
     name = "matmul"
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         a, b = node.inputs
@@ -52,6 +53,14 @@ class MatMulOp(Op):
         if node.attrs["tb"]:
             b = b.T
         return [np.asarray(a @ b, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        a, b = inputs
+        if node.attrs["ta"]:
+            a = a.T
+        if node.attrs["tb"]:
+            b = b.T
+        np.matmul(a, b, out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -103,6 +112,7 @@ class BatchDotOp(Op):
     """
 
     name = "batch_dot"
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         a, b = node.inputs
@@ -129,6 +139,14 @@ class BatchDotOp(Op):
         if node.attrs["tb"]:
             b = np.swapaxes(b, 1, 2)
         return [np.asarray(a @ b, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        a, b = inputs
+        if node.attrs["ta"]:
+            a = np.swapaxes(a, 1, 2)
+        if node.attrs["tb"]:
+            b = np.swapaxes(b, 1, 2)
+        np.matmul(a, b, out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -169,6 +187,7 @@ class FullyConnectedOp(Op):
     """
 
     name = "fully_connected"
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         x, w = node.inputs[0], node.inputs[1]
@@ -197,6 +216,20 @@ class FullyConnectedOp(Op):
         if len(inputs) == 3:
             y = y + inputs[2]
         return [np.asarray(y, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        x, w = inputs[0], inputs[1]
+        out = outs[0]
+        if node.attrs["layout"] is Layout.COL_MAJOR:
+            y = (w @ x.T).T
+            if len(inputs) == 3:
+                np.add(y, inputs[2], out=out)
+            else:
+                np.copyto(out, y)
+        else:
+            np.matmul(x, w.T, out=out)
+            if len(inputs) == 3:
+                np.add(out, inputs[2], out=out)
 
     def gradient(self, node, out_grads):
         from repro.ops.reduce import reduce_sum

@@ -24,11 +24,22 @@ class _ReduceBase(Op):
 
 class ReduceSumOp(_ReduceBase):
     name = "reduce_sum"
+    supports_out = True
 
     def compute(self, node, inputs):
         out = np.sum(inputs[0], axis=self._np_axis(node),
                      keepdims=node.attrs["keepdims"])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        # ``out=`` forces accumulation in the out dtype; for floats that
+        # matches the default, for ints numpy widens to int64 first, so
+        # only the float path keeps bitwise parity with ``compute``.
+        if not np.issubdtype(outs[0].dtype, np.floating):
+            super().compute_into(node, inputs, outs)
+            return
+        np.sum(inputs[0], axis=self._np_axis(node),
+               keepdims=node.attrs["keepdims"], out=outs[0])
 
     def gradient(self, node, out_grads):
         from repro.ops.shape_ops import broadcast_to, reshape
@@ -43,11 +54,21 @@ class ReduceSumOp(_ReduceBase):
 
 class ReduceMeanOp(_ReduceBase):
     name = "reduce_mean"
+    supports_out = True
 
     def compute(self, node, inputs):
         out = np.mean(inputs[0], axis=self._np_axis(node),
                       keepdims=node.attrs["keepdims"])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        if not np.issubdtype(outs[0].dtype, np.floating) or not np.issubdtype(
+            inputs[0].dtype, np.floating
+        ):
+            super().compute_into(node, inputs, outs)
+            return
+        np.mean(inputs[0], axis=self._np_axis(node),
+                keepdims=node.attrs["keepdims"], out=outs[0])
 
     def gradient(self, node, out_grads):
         from repro.ops.elementwise import mul_scalar
@@ -66,11 +87,16 @@ class ReduceMeanOp(_ReduceBase):
 
 class ReduceMaxOp(_ReduceBase):
     name = "reduce_max"
+    supports_out = True
 
     def compute(self, node, inputs):
         out = np.max(inputs[0], axis=self._np_axis(node),
                      keepdims=node.attrs["keepdims"])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        np.max(inputs[0], axis=self._np_axis(node),
+               keepdims=node.attrs["keepdims"], out=outs[0])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads

@@ -19,6 +19,8 @@ from repro.graph.shapes import broadcast_shapes, normalize_axis, num_elements
 class ReshapeOp(Op):
     name = "reshape"
     recompute_cheap = True
+    #: returns a view of the input (free on contiguous data)
+    may_alias = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs
@@ -50,6 +52,7 @@ class ReshapeOp(Op):
 class TransposeOp(Op):
     name = "transpose"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs
@@ -60,6 +63,9 @@ class TransposeOp(Op):
 
     def compute(self, node, inputs):
         return [np.ascontiguousarray(np.transpose(inputs[0], node.attrs["perm"]))]
+
+    def compute_into(self, node, inputs, outs):
+        np.copyto(outs[0], np.transpose(inputs[0], node.attrs["perm"]))
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -77,6 +83,7 @@ class SliceAxisOp(Op):
 
     name = "slice_axis"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs
@@ -96,6 +103,12 @@ class SliceAxisOp(Op):
         index = [slice(None)] * inputs[0].ndim
         index[axis] = slice(node.attrs["begin"], node.attrs["end"])
         return [np.ascontiguousarray(inputs[0][tuple(index)])]
+
+    def compute_into(self, node, inputs, outs):
+        axis = normalize_axis(node.attrs["axis"], inputs[0].ndim)
+        index = [slice(None)] * inputs[0].ndim
+        index[axis] = slice(node.attrs["begin"], node.attrs["end"])
+        np.copyto(outs[0], inputs[0][tuple(index)])
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -120,6 +133,7 @@ class SliceAxisGradOp(Op):
 
     name = "slice_axis_grad"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (dy,) = node.inputs
@@ -134,10 +148,20 @@ class SliceAxisGradOp(Op):
         out[tuple(index)] = dy
         return [out]
 
+    def compute_into(self, node, inputs, outs):
+        (dy,) = inputs
+        out = outs[0]
+        out.fill(0)
+        axis = normalize_axis(node.attrs["axis"], out.ndim)
+        index = [slice(None)] * out.ndim
+        index[axis] = slice(node.attrs["begin"], node.attrs["end"])
+        out[tuple(index)] = dy
+
 
 class ConcatOp(Op):
     name = "concat"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         axis = normalize_axis(node.attrs["axis"], len(node.inputs[0].shape))
@@ -161,6 +185,10 @@ class ConcatOp(Op):
         axis = normalize_axis(node.attrs["axis"], inputs[0].ndim)
         return [np.concatenate(inputs, axis=axis)]
 
+    def compute_into(self, node, inputs, outs):
+        axis = normalize_axis(node.attrs["axis"], inputs[0].ndim)
+        np.concatenate(inputs, axis=axis, out=outs[0])
+
     def gradient(self, node, out_grads):
         (dy,) = out_grads
         if dy is None:
@@ -180,6 +208,7 @@ class SplitOp(Op):
 
     name = "split"
     recompute_cheap = True
+    supports_out = True
 
     def num_outputs(self, node: Node) -> int:
         return node.attrs["sections"]
@@ -203,6 +232,12 @@ class SplitOp(Op):
             np.ascontiguousarray(part)
             for part in np.split(inputs[0], node.attrs["sections"], axis=axis)
         ]
+
+    def compute_into(self, node, inputs, outs):
+        axis = normalize_axis(node.attrs["axis"], inputs[0].ndim)
+        parts = np.split(inputs[0], node.attrs["sections"], axis=axis)
+        for out, part in zip(outs, parts):
+            np.copyto(out, part)
 
     def gradient(self, node, out_grads):
         from repro.ops.source import zeros
@@ -228,6 +263,7 @@ class SplitOp(Op):
 class BroadcastToOp(Op):
     name = "broadcast_to"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs
@@ -243,6 +279,9 @@ class BroadcastToOp(Op):
             )
         ]
 
+    def compute_into(self, node, inputs, outs):
+        np.copyto(outs[0], np.broadcast_to(inputs[0], node.attrs["shape"]))
+
     def gradient(self, node, out_grads):
         from repro.ops.elementwise import _unbroadcast
 
@@ -255,6 +294,8 @@ class BroadcastToOp(Op):
 class ExpandDimsOp(Op):
     name = "expand_dims"
     recompute_cheap = True
+    #: returns a reshape view of the input
+    may_alias = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs

@@ -20,6 +20,7 @@ def softmax_array(x: np.ndarray, axis: int) -> np.ndarray:
 class SoftmaxOp(Op):
     name = "softmax"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         (x,) = node.inputs
@@ -29,6 +30,13 @@ class SoftmaxOp(Op):
     def compute(self, node, inputs):
         out = softmax_array(inputs[0], node.attrs["axis"])
         return [np.asarray(out, dtype=node.out_specs[0].dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        x, out = inputs[0], outs[0]
+        axis = node.attrs["axis"]
+        np.subtract(x, np.max(x, axis=axis, keepdims=True), out=out)
+        np.exp(out, out=out)
+        np.divide(out, np.sum(out, axis=axis, keepdims=True), out=out)
 
     def gradient(self, node, out_grads):
         (dy,) = out_grads
@@ -54,6 +62,7 @@ class SoftmaxGradOp(Op):
 
     name = "softmax_grad"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         y, _dy = node.inputs
@@ -64,6 +73,14 @@ class SoftmaxGradOp(Op):
         axis = node.attrs["axis"]
         inner = np.sum(dy * y, axis=axis, keepdims=True)
         return [np.asarray(y * (dy - inner), dtype=y.dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        y, dy = inputs
+        out = outs[0]
+        axis = node.attrs["axis"]
+        inner = np.sum(dy * y, axis=axis, keepdims=True)
+        np.subtract(dy, inner, out=out)
+        np.multiply(y, out, out=out)
 
 
 _SOFTMAX = register(SoftmaxOp())

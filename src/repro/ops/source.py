@@ -38,6 +38,8 @@ class ConstantOp(Op):
 
     name = "constant"
     recompute_cheap = True
+    #: returns the graph-owned attrs["value"] array, not a fresh buffer
+    may_alias = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         value: np.ndarray = node.attrs["value"]
@@ -55,6 +57,7 @@ class ZerosOp(Op):
 
     name = "zeros"
     recompute_cheap = True
+    supports_out = True
 
     def infer_specs(self, node: Node) -> Sequence[TensorSpec]:
         return [TensorSpec(node.attrs["shape"], node.attrs["dtype"])]
@@ -62,6 +65,9 @@ class ZerosOp(Op):
     def compute(self, node: Node, inputs: Sequence[np.ndarray]) -> list[np.ndarray]:
         spec = node.out_specs[0]
         return [np.zeros(spec.shape, dtype=spec.dtype)]
+
+    def compute_into(self, node, inputs, outs):
+        outs[0].fill(0)
 
     def gradient(self, node, out_grads):
         return []

@@ -1,5 +1,6 @@
 """Execution substrate: scheduler, memory planner, executor (DESIGN.md S4)."""
 
+from repro.runtime.compiled import Arena, CompiledPlan
 from repro.runtime.executor import (
     ExecutionError,
     GraphExecutor,
@@ -12,6 +13,12 @@ from repro.runtime.memory import (
     MemoryPlan,
     TensorLifetime,
     plan_memory,
+)
+from repro.runtime.plancache import (
+    NullPlanCache,
+    PlanCache,
+    default_plan_cache,
+    graph_signature,
 )
 from repro.runtime.pool import PoolStats, round_up, simulate_pool
 from repro.runtime.scheduler import SchedulingError, schedule, validate_schedule
@@ -32,4 +39,10 @@ __all__ = [
     "simulate_pool",
     "PoolStats",
     "round_up",
+    "Arena",
+    "CompiledPlan",
+    "PlanCache",
+    "NullPlanCache",
+    "default_plan_cache",
+    "graph_signature",
 ]

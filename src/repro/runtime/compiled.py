@@ -1,0 +1,782 @@
+"""Compiled execution plans: the training hot loop without an interpreter.
+
+The seed executor walked the schedule as a dict-keyed interpreter: per-step
+``TensorKey`` lookups, a ``placeholder/variable`` branch, per-node
+try/except plumbing, per-output shape checks, and a fresh numpy allocation
+for every intermediate on every iteration. This module lowers a schedule
+*once* into a flat :class:`CompiledPlan`:
+
+* tensors get dense integer **slots** into a list register file — no dict
+  lookups in the loop;
+* each node becomes one precompiled **instruction closure** with its input
+  and output slots and its error context bound at compile time — the run
+  loop is ``for step in steps: step(regs)``;
+* chains of single-consumer elementwise/activation nodes are **fused** into
+  one instruction that streams a single accumulator buffer through the
+  chain with ``out=`` kernels (the cuDNN-style pointwise fusion the paper's
+  Figure 7a launch-bound story rests on);
+* an **arena** recycles buffers by size class (the ``pool.py`` rounding
+  rules), and — because a plan's instruction stream repeats identically
+  every iteration — the arena's free-list replay runs *at compile time*:
+  each intermediate gets a **static buffer** reused across slots exactly as
+  the runtime free lists would have, and ``out=`` kernels write straight
+  into those closure-bound arrays. Steady-state iterations allocate only
+  the run's escaping outputs.
+
+Plans compiled against a shared arena (the bucketed trainer) draw their
+static buffers from the same free lists, so different bucket plans overlay
+the same storage — footprint follows the largest bucket, not the sum, the
+host-side analogue of the paper's executors sharing one memory pool. This
+is safe because executors run one iteration to completion at a time and
+outputs never alias plan storage.
+
+Numerics are bitwise-identical to the interpreted loop: every
+``compute_into`` implementation reproduces its ``compute`` expression tree
+exactly, and fusion only reorders *where* a kernel runs in the schedule
+(legal because the chain's interior values have exactly one consumer), never
+what it computes. Fusion never crosses a stage boundary, so Echo's mirrored
+recompute regions keep their checkpoint semantics.
+
+The simulated *cost* and *memory* models stay node-based: plans report the
+same per-node timings and the memory planner sees the original schedule, so
+every figure reproduction is unchanged — only the host-side execution gets
+faster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.graph import Node, Tensor
+from repro.runtime.memory import TensorKey
+from repro.runtime.pool import round_up
+
+_SOURCE_OPS = ("placeholder", "variable")
+
+
+class ExecutionError(RuntimeError):
+    """Raised on bad feeds or kernel failures."""
+
+
+def _raw_kernel(node: Node):
+    """Bare ``k(*inputs, out)`` callable bypassing ``compute_into``, or None.
+
+    Only bound when the specialization is provably bit-identical to the
+    op's ``compute_into``: a single output whose dtype exactly matches
+    every input (so the wrapper's cast-fallback path cannot trigger) and a
+    kernel that is a plain ufunc application. This removes one Python call
+    plus argument packing from the hottest instructions.
+    """
+    if len(node.out_specs) != 1:
+        return None
+    out_dtype = node.out_specs[0].dtype
+    if any(t.dtype != out_dtype for t in node.inputs):
+        return None
+    op = node.op
+    fn = getattr(op, "_fn", None)
+    if isinstance(fn, np.ufunc) and fn.nin == len(node.inputs):
+        return fn  # ufuncs take ``out`` positionally
+    into_fn = getattr(op, "_into_fn", None)
+    if into_fn is not None and np.issubdtype(out_dtype, np.floating):
+        scalar = node.attrs["scalar"]
+
+        def k(x, out, _f=into_fn, _c=scalar):
+            _f(x, _c, out)
+
+        return k
+    if op.name == "tanh":
+        return np.tanh
+    if op.name == "sigmoid":
+        from repro.ops.activation import _sigmoid_into
+
+        return _sigmoid_into
+    return None
+
+
+def bind_source(
+    table: Mapping[str, np.ndarray], node: Node, kind: str
+) -> np.ndarray:
+    """Validate and normalize one feed/param binding (shared error contract)."""
+    if node.name not in table:
+        raise ExecutionError(f"{kind} {node.name!r} was not bound")
+    arr = np.asarray(table[node.name])
+    spec = node.out_specs[0]
+    if tuple(arr.shape) != spec.shape:
+        raise ExecutionError(
+            f"{kind} {node.name!r}: bound shape {arr.shape} != "
+            f"declared {spec.shape}"
+        )
+    if arr.dtype != spec.dtype:
+        arr = arr.astype(spec.dtype)
+    return arr
+
+
+class Arena:
+    """Size-class buffer recycler backing a plan's ``out=`` kernels.
+
+    Freed buffers go to per-size-class free lists (page-rounded like the
+    ``pool.py`` device pool) and are handed back to later requests of the
+    same class. Buffers are raw byte arrays; ``acquire`` returns a
+    shaped/typed view, ``release`` walks ``.base`` back to the raw buffer.
+    Zero-byte requests are never pooled (a class-0 free list would alias
+    every empty tensor onto one entry).
+
+    :class:`CompiledPlan` drives acquire/release during *compilation* to
+    assign static buffers; at runtime only :meth:`acquire_fresh` is called,
+    for outputs that escape the plan.
+    """
+
+    def __init__(self) -> None:
+        self._free: dict[int, list[np.ndarray]] = {}
+        #: buffers created outside the free lists (pool misses and escaping
+        #: outputs); steady-state iterations add only the run's outputs
+        self.fresh_count = 0
+        #: acquisitions served from a free list
+        self.reuse_count = 0
+        #: zero-byte acquisitions (served fresh, never pooled)
+        self.zero_byte_count = 0
+        #: cumulative bytes of fresh buffers
+        self.fresh_bytes = 0
+
+    def acquire(
+        self, shape: tuple[int, ...], dtype: np.dtype, nbytes: int
+    ) -> np.ndarray:
+        if nbytes <= 0:
+            self.zero_byte_count += 1
+            return np.empty(shape, dtype=dtype)
+        cls = round_up(nbytes)
+        bucket = self._free.get(cls)
+        if bucket:
+            arr = bucket.pop()
+            self.reuse_count += 1
+            # Fast path: repeated compilations against a shared arena ask
+            # for the same shapes, so the free list usually hands back a
+            # view already shaped for this request.
+            if arr.shape == shape and arr.dtype == dtype:
+                return arr
+            raw = arr
+            while raw.base is not None:
+                raw = raw.base
+        else:
+            raw = np.empty(cls, dtype=np.uint8)
+            self.fresh_count += 1
+            self.fresh_bytes += cls
+        return raw[:nbytes].view(dtype).reshape(shape)
+
+    def acquire_fresh(
+        self, shape: tuple[int, ...], dtype: np.dtype, nbytes: int
+    ) -> np.ndarray:
+        """A buffer that escapes the plan (a graph output).
+
+        Never served from the free lists: a pooled raw buffer may be some
+        plan's static storage, and an output must survive later iterations.
+        """
+        if nbytes <= 0:
+            self.zero_byte_count += 1
+        else:
+            self.fresh_count += 1
+            self.fresh_bytes += nbytes
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, arr: np.ndarray) -> None:
+        base = arr
+        while base.base is not None:
+            base = base.base
+        if base.dtype != np.uint8 or base.ndim != 1 or base.nbytes == 0:
+            return  # not an arena buffer (zero-byte or foreign array)
+        # Park the shaped view itself (its .base pins the raw buffer);
+        # acquire re-derives the raw page only on a shape mismatch.
+        self._free.setdefault(base.nbytes, []).append(arr)
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently parked on the free lists."""
+        return sum(cls * len(b) for cls, b in self._free.items())
+
+
+class CompiledPlan:
+    """A schedule lowered to slot-indexed instruction closures.
+
+    Built once per (graph, arena) pair; :meth:`run` executes one iteration.
+    The plan's static buffers are reused across iterations, so a plan (and
+    any plan sharing its arena) must not run re-entrantly; the training
+    loop runs one iteration to completion at a time, matching the seed.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[Node],
+        outputs: Sequence[Tensor],
+        arena: Arena | None = None,
+        fuse: bool = True,
+    ) -> None:
+        self.order = list(order)
+        self.outputs = list(outputs)
+        self.arena = arena if arena is not None else Arena()
+        self.fuse = fuse
+        #: result arrays allocated by generic (non-``out=``) instructions,
+        #: cumulative across runs (benchmarks read deltas)
+        self.generic_alloc_count = 0
+        self._compile()
+
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> None:
+        order = self.order
+        output_keys = {t.key for t in self.outputs}
+
+        source_nodes = [n for n in order if n.op.name in _SOURCE_OPS]
+        constant_nodes = [n for n in order if n.op.name == "constant"]
+        body = [
+            n
+            for n in order
+            if n.op.name not in _SOURCE_OPS and n.op.name != "constant"
+        ]
+
+        chains = self._fuse_chains(body, output_keys) if self.fuse else [
+            [n] for n in body
+        ]
+
+        # Slot assignment: sources, constants, and every materialized
+        # instruction output. Fused-chain interiors never materialize.
+        slot_of: dict[TensorKey, int] = {}
+
+        def new_slot(key: TensorKey) -> int:
+            slot_of[key] = len(slot_of)
+            return slot_of[key]
+
+        for node in source_nodes:
+            new_slot((node.uid, 0))
+        for node in constant_nodes:
+            new_slot((node.uid, 0))
+        for chain in chains:
+            tail = chain[-1]
+            for i in range(len(tail.out_specs)):
+                new_slot((tail.uid, i))
+
+        nslots = len(slot_of)
+        template: list[np.ndarray | None] = [None] * nslots
+        for node in constant_nodes:
+            template[slot_of[(node.uid, 0)]] = node.attrs["value"]
+        self._template = template
+        self._bindings: list[tuple[int, Node, str]] = [
+            (
+                slot_of[(n.uid, 0)],
+                n,
+                "placeholder" if n.op.name == "placeholder" else "variable",
+            )
+            for n in source_nodes
+        ]
+
+        # Alias roots: a view output shares its input's storage; the whole
+        # group's storage is reusable only when every member is dead.
+        root = list(range(nslots))
+        arena_produced = [False] * nslots
+        source_slots = {slot_of[(n.uid, 0)] for n in source_nodes}
+        constant_slots = {slot_of[(n.uid, 0)] for n in constant_nodes}
+        output_slots = {slot_of[t.key] for t in self.outputs}
+
+        # First pass: instruction descriptors (kind, slots) + root/arena
+        # marking, so releasability is known before buffers are assigned.
+        descs: list[dict[str, Any]] = []
+        for chain in chains:
+            tail = chain[-1]
+            out_slots = tuple(
+                slot_of[(tail.uid, i)] for i in range(len(tail.out_specs))
+            )
+            if len(chain) > 1:
+                interior = {(n.uid, 0) for n in chain[:-1]}
+                patterns = []
+                in_slots: list[int] = []
+                for member in chain:
+                    pattern = tuple(
+                        -1 if t.key in interior else slot_of[t.key]
+                        for t in member.inputs
+                    )
+                    patterns.append((member.op, member, pattern))
+                    in_slots.extend(s for s in pattern if s >= 0)
+                descs.append(
+                    {
+                        "kind": "fused",
+                        "chain": patterns,
+                        "node": tail,
+                        "in_slots": tuple(in_slots),
+                        "out_slots": out_slots,
+                    }
+                )
+                arena_produced[out_slots[0]] = True
+                continue
+            node = tail
+            in_slots = tuple(slot_of[t.key] for t in node.inputs)
+            if node.op.may_alias and node.inputs:
+                kind = "view"
+                root[out_slots[0]] = root[in_slots[0]]
+            elif node.op.supports_out:
+                kind = "out"
+                for s in out_slots:
+                    arena_produced[s] = True
+            else:
+                kind = "generic"
+            descs.append(
+                {
+                    "kind": kind,
+                    "node": node,
+                    "in_slots": in_slots,
+                    "out_slots": out_slots,
+                }
+            )
+
+        # Releasability: the group's storage may be recycled iff it came
+        # from the arena and no member escapes as an output.
+        members: dict[int, list[int]] = {}
+        for s in range(nslots):
+            members.setdefault(root[s], []).append(s)
+        releasable = [False] * nslots
+        for r, group in members.items():
+            releasable[r] = arena_produced[r] and not any(
+                m in output_slots for m in group
+            )
+
+        # Liveness over the instruction stream: free each slot after its
+        # last consuming instruction (or its producer, if never consumed).
+        # Sources, constants, and outputs live to the end of the run.
+        last_use: dict[int, int] = {}
+        for idx, desc in enumerate(descs):
+            for s in desc["in_slots"]:
+                last_use[s] = idx
+        for idx, desc in enumerate(descs):
+            for s in desc["out_slots"]:
+                last_use.setdefault(s, idx)
+        never_freed = source_slots | constant_slots | output_slots
+        frees_at: dict[int, list[tuple[int, int, bool]]] = {}
+        for s, idx in last_use.items():
+            if s in never_freed:
+                continue
+            frees_at.setdefault(idx, []).append(
+                (s, root[s], releasable[root[s]])
+            )
+
+        # Static buffer assignment: the instruction stream is identical
+        # every iteration, so the arena's alloc/free replay is done once,
+        # here. Each releasable produced slot gets a permanent shaped view;
+        # when a group's simulated refcount drains, its storage returns to
+        # the arena free lists and later slots (of this plan or another
+        # plan sharing the arena) overlay the same raw pages. Outputs and
+        # groups that escape through an output stay dynamic — they are
+        # handed to the caller every run and must never be overwritten.
+        arena = self.arena
+        static_views: dict[int, np.ndarray] = {}
+        sim_refs = [0] * nslots
+        for fs in frees_at.values():
+            for _s, r, _rel in fs:
+                sim_refs[r] += 1
+        for idx, desc in enumerate(descs):
+            if desc["kind"] in ("out", "fused"):
+                node = desc["node"]
+                for j, s in enumerate(desc["out_slots"]):
+                    spec = node.out_specs[j]
+                    if releasable[s] and spec.nbytes > 0:
+                        static_views[s] = arena.acquire(
+                            spec.shape, spec.dtype, spec.nbytes
+                        )
+            for s, r, rel in frees_at.get(idx, ()):
+                sim_refs[r] -= 1
+                if rel and sim_refs[r] == 0:
+                    view = static_views.get(r)
+                    if view is not None:
+                        arena.release(view)
+
+        # Per-instruction register clears: drop references to per-run
+        # arrays (outputs of generic/dynamic instructions, view objects)
+        # when dead. Static slots need no clearing — their buffers persist
+        # by design — so they are filtered out of the hot loop entirely.
+        clears_at: dict[int, tuple[int, ...]] = {
+            idx: tuple(s for s, _r, _rel in fs if s not in static_views)
+            for idx, fs in frees_at.items()
+        }
+
+        # Second pass: bake closures.
+        steps: list[Callable[[list], None]] = []
+        stats = {"out": 0, "generic": 0, "view": 0, "fused": 0}
+        for idx, desc in enumerate(descs):
+            clear = clears_at.get(idx, ())
+            kind = desc["kind"]
+            stats[kind] += 1
+            if kind == "fused":
+                steps.append(
+                    self._make_fused_step(
+                        desc["chain"],
+                        desc["out_slots"][0],
+                        clear,
+                        static_views.get(desc["out_slots"][0]),
+                    )
+                )
+            elif kind == "out":
+                steps.append(
+                    self._make_out_step(
+                        desc["node"],
+                        desc["in_slots"],
+                        desc["out_slots"],
+                        clear,
+                        tuple(static_views.get(s) for s in desc["out_slots"]),
+                    )
+                )
+            elif kind == "view":
+                steps.append(
+                    self._make_view_step(
+                        desc["node"], desc["in_slots"], desc["out_slots"], clear
+                    )
+                )
+            else:
+                guard = tuple(
+                    s
+                    for s in dict.fromkeys(desc["in_slots"])
+                    if root[s] in static_views
+                )
+                steps.append(
+                    self._make_generic_step(
+                        desc["node"], desc["in_slots"], desc["out_slots"],
+                        clear, guard,
+                    )
+                )
+        self._steps = steps
+        self._slot_of = slot_of
+        self._output_slots = [slot_of[t.key] for t in self.outputs]
+
+        # The dispatch loop itself is baked as one generated function —
+        # a straight-line sequence of step calls with no iterator
+        # machinery. Error context is recovered by the step-by-step
+        # fallback in :meth:`run`.
+        if steps:
+            env = {"S": steps}
+            defaults = ", ".join(f"_s{i}=S[{i}]" for i in range(len(steps)))
+            lines = "\n".join(f"    _s{i}(regs)" for i in range(len(steps)))
+            src = f"def body(regs, {defaults}):\n{lines}\n"
+            ns: dict = {}
+            exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
+            self._body = ns["body"]
+        else:
+            self._body = lambda regs: None
+
+        self.num_nodes = len(order)
+        self.num_instructions = len(self._bindings) + len(steps)
+        self.fused_chain_count = stats["fused"]
+        self.fused_node_count = sum(
+            len(c) for c in chains if len(c) > 1
+        )
+        self.instruction_kinds = stats
+        self.static_slot_count = len(static_views)
+        raws: dict[int, int] = {}
+        for view in static_views.values():
+            base = view
+            while base.base is not None:
+                base = base.base
+            raws[id(base)] = base.nbytes
+        self.static_storage_bytes = sum(raws.values())
+
+    @staticmethod
+    def _fuse_chains(
+        body: list[Node], output_keys: set[TensorKey]
+    ) -> list[list[Node]]:
+        """Group the body into maximal single-consumer elementwise chains.
+
+        An edge producer->consumer fuses when both ops are single-output
+        and ``fusion_eligible``, the producer's only consumer is this node
+        (once, at an in-place-capable operand position), shapes and dtypes
+        match (so one accumulator buffer serves the whole chain), the
+        value does not escape as a graph output, and both nodes belong to
+        the same stage — fusion never crosses a checkpoint boundary, so
+        Echo's mirrored recompute regions stay intact.
+        """
+        consumers: dict[TensorKey, list[tuple[Node, int]]] = {}
+        for n in body:
+            for pos, t in enumerate(n.inputs):
+                consumers.setdefault(t.key, []).append((n, pos))
+
+        next_of: dict[int, Node] = {}
+        prev_of: dict[int, Node] = {}
+        for a in body:
+            if not a.op.fusion_eligible or len(a.out_specs) != 1:
+                continue
+            key = (a.uid, 0)
+            if key in output_keys:
+                continue
+            cons = consumers.get(key, [])
+            if len(cons) != 1:
+                continue
+            b, pos = cons[0]
+            if not b.op.fusion_eligible or len(b.out_specs) != 1:
+                continue
+            if pos not in b.op.inplace_operands:
+                continue
+            if b.uid in prev_of:
+                continue
+            if a.out_specs[0].shape != b.out_specs[0].shape:
+                continue
+            if a.out_specs[0].dtype != b.out_specs[0].dtype:
+                continue
+            if a.stage is not b.stage:
+                continue
+            next_of[a.uid] = b
+            prev_of[b.uid] = a
+
+        chains: list[list[Node]] = []
+        for n in body:
+            if n.uid in next_of:
+                continue  # absorbed into its consumer's instruction
+            chain = [n]
+            cur = n
+            while cur.uid in prev_of:
+                cur = prev_of[cur.uid]
+                chain.append(cur)
+            chain.reverse()
+            chains.append(chain)
+        return chains
+
+    # -- closure factories ---------------------------------------------------
+
+    @staticmethod
+    def _bake(body: str, env: dict, node: Node, defaults: str):
+        """Compile one instruction closure from source.
+
+        ``defaults`` binds compile-time constants (the node, kernels,
+        static buffers) as default arguments — local loads at run time,
+        with no cell or global lookups — and ``body`` is exact minimal
+        bytecode for this instruction (register clears fully unrolled).
+        """
+        src = f"def step(regs, {defaults}):\n{body}\n"
+        ns: dict = {}
+        exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
+        step = ns["step"]
+        step._node = node
+        return step
+
+    def _make_out_step(self, node, in_slots, out_slots, clear, statics):
+        acquire_fresh = self.arena.acquire_fresh
+        compute_into = node.op.compute_into
+        specs = [
+            (s.shape, s.dtype, s.nbytes) for s in node.out_specs
+        ]
+        clear_src = "".join(f"\n    regs[{s}] = None" for s in clear)
+        args = ", ".join(f"regs[{i}]" for i in in_slots)
+        if len(out_slots) == 1:
+            out_slot = out_slots[0]
+            static = statics[0]
+            shape, dtype, nbytes = specs[0]
+            kernel = _raw_kernel(node)
+            env = {
+                "node": node,
+                "compute_into": compute_into,
+                "acquire_fresh": acquire_fresh,
+                "kernel": kernel,
+                "static": static,
+                "dtype": dtype,
+            }
+            operands = f"({args},)" if len(in_slots) == 1 else f"({args})"
+            # With a static buffer the step has no allocator at all — the
+            # output array is a default-argument constant.
+            if static is not None and kernel is not None:
+                body = (
+                    f"    _k({args}, _s)\n"
+                    f"    regs[{out_slot}] = _s{clear_src}"
+                )
+                defaults = "_k=kernel, _s=static"
+            elif static is not None:
+                body = (
+                    f"    _f(_n, {operands}, (_s,))\n"
+                    f"    regs[{out_slot}] = _s{clear_src}"
+                )
+                defaults = "_n=node, _f=compute_into, _s=static"
+            elif kernel is not None:
+                body = (
+                    f"    out = _a({shape!r}, _d, {nbytes})\n"
+                    f"    _k({args}, out)\n"
+                    f"    regs[{out_slot}] = out{clear_src}"
+                )
+                defaults = "_a=acquire_fresh, _d=dtype, _k=kernel"
+            else:
+                body = (
+                    f"    out = _a({shape!r}, _d, {nbytes})\n"
+                    f"    _f(_n, {operands}, (out,))\n"
+                    f"    regs[{out_slot}] = out{clear_src}"
+                )
+                defaults = "_a=acquire_fresh, _d=dtype, _n=node, _f=compute_into"
+            return self._bake(body, env, node, defaults)
+
+        if all(st is not None for st in statics):
+
+            def step(regs):
+                compute_into(node, [regs[s] for s in in_slots], statics)
+                for s, arr in zip(out_slots, statics):
+                    regs[s] = arr
+                for s in clear:
+                    regs[s] = None
+
+        else:
+
+            def step(regs):
+                outs = [
+                    st if st is not None else acquire_fresh(sh, dt, nb)
+                    for st, (sh, dt, nb) in zip(statics, specs)
+                ]
+                compute_into(node, [regs[s] for s in in_slots], outs)
+                for s, arr in zip(out_slots, outs):
+                    regs[s] = arr
+                for s in clear:
+                    regs[s] = None
+
+        step._node = node
+        return step
+
+    def _make_fused_step(self, chain, out_slot, clear, static):
+        tail = chain[-1][1]
+        spec = tail.out_specs[0]
+        shape, dtype, nbytes = spec.shape, spec.dtype, spec.nbytes
+        # The chain body is fully unrolled: one source line per member,
+        # streaming the accumulator ``buf`` through the kernels. Members
+        # with a bindable raw kernel (see :func:`_raw_kernel`) skip the
+        # ``compute_into`` wrapper entirely.
+        env: dict = {"chain_members": [node for _op, node, _p in chain]}
+        defaults = []
+        lines = []
+        for j, (op, node, pattern) in enumerate(chain):
+            kernel = _raw_kernel(node)
+            if kernel is not None:
+                env[f"k{j}"] = kernel
+                defaults.append(f"_k{j}=k{j}")
+                args = ", ".join(
+                    "buf" if s < 0 else f"regs[{s}]" for s in pattern
+                )
+                lines.append(f"        _k{j}({args}, buf)")
+            else:
+                env[f"f{j}"] = op.compute_into
+                env[f"n{j}"] = node
+                defaults.append(f"_f{j}=f{j}, _n{j}=n{j}")
+                args = ", ".join(
+                    "buf" if s < 0 else f"regs[{s}]" for s in pattern
+                )
+                comma = "," if len(pattern) == 1 else ""
+                lines.append(f"        _f{j}(_n{j}, ({args}{comma}), (buf,))")
+        if static is not None:
+            env["static"] = static
+            defaults.append("_s=static")
+            alloc = "    buf = _s"
+        else:
+            env["acquire_fresh"] = self.arena.acquire_fresh
+            env["dtype"] = dtype
+            defaults.append("_a=acquire_fresh, _d=dtype")
+            alloc = f"    buf = _a({shape!r}, _d, {nbytes})"
+        env["ExecutionError"] = ExecutionError
+        env["tail"] = tail
+        defaults.append("_EE=ExecutionError, _t=tail")
+        clear_src = "".join(f"\n    regs[{s}] = None" for s in clear)
+        body = (
+            f"{alloc}\n"
+            "    try:\n"
+            + "\n".join(lines) + "\n"
+            "    except Exception as exc:\n"
+            "        raise _EE(\n"
+            "            f'kernel failure in fused chain ending at "
+            "{_t!r}: {exc}'\n"
+            "        ) from exc\n"
+            f"    regs[{out_slot}] = buf{clear_src}"
+        )
+        step = self._bake(body, env, tail, ", ".join(defaults))
+        step._fused = True
+        return step
+
+    def _make_view_step(self, node, in_slots, out_slots, clear):
+        out_slot = out_slots[0]
+        clear_src = "".join(f"\n    regs[{s}] = None" for s in clear)
+        env = {"node": node, "compute": node.op.compute}
+        if node.op.name == "reshape" and len(in_slots) == 1:
+            # The dominant view op; the target shape is static, so the
+            # step is a bare ndarray.reshape (same view ``compute`` makes).
+            shape = node.out_specs[0].shape
+            body = (
+                f"    regs[{out_slot}] = "
+                f"regs[{in_slots[0]}].reshape({shape!r}){clear_src}"
+            )
+            return self._bake(body, env, node, "_n=node")
+        args = ", ".join(f"regs[{i}]" for i in in_slots)
+        body = (
+            f"    regs[{out_slot}] = _c(_n, [{args}])[0]{clear_src}"
+        )
+        return self._bake(body, env, node, "_n=node, _c=compute")
+
+    def _make_generic_step(self, node, in_slots, out_slots, clear, guard):
+        compute = node.op.compute
+        specs = list(node.out_specs)
+        plan = self
+
+        def step(regs):
+            results = compute(node, [regs[s] for s in in_slots])
+            plan.generic_alloc_count += len(results)
+            for j, (s, arr) in enumerate(zip(out_slots, results)):
+                expected = specs[j]
+                if tuple(arr.shape) != expected.shape:
+                    raise ExecutionError(
+                        f"{node.name} output {j}: kernel produced shape "
+                        f"{arr.shape}, spec says {expected.shape}"
+                    )
+                for g in guard:
+                    src = regs[g]
+                    if arr is src or (
+                        arr.base is not None and np.may_share_memory(arr, src)
+                    ):
+                        # The kernel returned (a view of) an input whose
+                        # static buffer later instructions overwrite;
+                        # detach it.
+                        arr = arr.copy()
+                        break
+                regs[s] = arr
+            for s in clear:
+                regs[s] = None
+
+        step._node = node
+        return step
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        params: Mapping[str, np.ndarray] | None = None,
+    ) -> list[np.ndarray]:
+        """Execute one iteration; returns the output arrays."""
+        feeds = feeds or {}
+        params = params or {}
+        regs = self._template[:]
+        for slot, node, kind in self._bindings:
+            regs[slot] = bind_source(
+                feeds if kind == "placeholder" else params, node, kind
+            )
+        try:
+            self._body(regs)
+        except ExecutionError:
+            raise
+        except Exception as first:
+            # Slow path, failures only: re-execute step by step from fresh
+            # registers to attribute the failure to a node. Kernels are
+            # deterministic (dropout is counter-based on the already-set
+            # global step), so the replay reproduces the same failure.
+            regs = self._template[:]
+            for slot, node, kind in self._bindings:
+                regs[slot] = bind_source(
+                    feeds if kind == "placeholder" else params, node, kind
+                )
+            step = None
+            try:
+                for step in self._steps:
+                    step(regs)
+            except ExecutionError:
+                raise
+            except Exception as exc:
+                node = step._node if step is not None else None
+                raise ExecutionError(
+                    f"kernel failure in {node!r}: {exc}"
+                ) from exc
+            raise ExecutionError(f"kernel failure: {first}") from first
+        return [regs[s] for s in self._output_slots]

@@ -6,6 +6,14 @@ training loops, gradient checks, and "training curves overlap" experiments
 use. GPU-side *performance* (kernel time, CUDA API time, DRAM traffic) is
 accumulated per node from a :class:`repro.gpumodel.DeviceModel`, replacing
 the paper's nvprof measurements on real silicon.
+
+Since the compiled-plan rework, ``run`` executes a
+:class:`repro.runtime.compiled.CompiledPlan` — a slot-indexed instruction
+stream with elementwise fusion and arena buffer reuse — instead of walking
+the schedule through a dict-keyed interpreter. The original interpreted
+loop survives as :meth:`GraphExecutor.run_interpreted` (the parity baseline
+for tests and benchmarks). Simulated cost stays node-based either way, so
+figure reproductions are unaffected by how the host executes kernels.
 """
 
 from __future__ import annotations
@@ -19,12 +27,17 @@ import numpy as np
 from repro.autodiff.training import TrainingGraph
 from repro.graph import Node, Tensor
 from repro.ops.dropout import set_global_step
-from repro.runtime.memory import Category, MemoryPlan, TensorKey, plan_memory
-from repro.runtime.scheduler import schedule
+from repro.runtime.compiled import Arena, CompiledPlan, ExecutionError
+from repro.runtime.memory import Category, MemoryPlan, TensorKey
+from repro.runtime.plancache import PlanCache, default_plan_cache
 
-
-class ExecutionError(RuntimeError):
-    """Raised on bad feeds or kernel failures."""
+__all__ = [
+    "ExecutionError",
+    "NodeTiming",
+    "RunResult",
+    "GraphExecutor",
+    "TrainingExecutor",
+]
 
 
 @dataclass
@@ -72,9 +85,12 @@ class RunResult:
 class GraphExecutor:
     """Executes a fixed set of output tensors over and over.
 
-    The schedule and memory plan are computed once at construction; ``run``
-    then walks the schedule with reference-counted value storage so the
-    process's real memory usage follows the simulated footprint.
+    The schedule, memory plan, and compiled plan are computed once at
+    construction (or fetched from a shared :class:`PlanCache`); ``run``
+    then dispatches the plan's flat instruction stream. The arena recycles
+    intermediate buffers, so the process's real memory usage follows the
+    simulated footprint and steady-state iterations allocate almost no new
+    arrays.
     """
 
     def __init__(
@@ -82,12 +98,22 @@ class GraphExecutor:
         outputs: Sequence[Tensor],
         device: Any | None = None,
         pinned_categories: Mapping[TensorKey, Category] | None = None,
+        arena: Arena | None = None,
+        plan_cache: PlanCache | None = None,
+        fuse: bool = True,
     ) -> None:
         self.outputs = list(outputs)
         self.device = device
-        self.order = schedule(self.outputs)
-        self.memory_plan: MemoryPlan = plan_memory(
-            self.order, self.outputs, pinned_categories
+        self.arena = arena if arena is not None else Arena()
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else default_plan_cache()
+        )
+        self.order = self.plan_cache.schedule_for(self.outputs)
+        self.memory_plan: MemoryPlan = self.plan_cache.plan_for(
+            self.outputs, pinned_categories, order=self.order
+        )
+        self.plan: CompiledPlan = self.plan_cache.compiled_for(
+            self.outputs, self.arena, fuse=fuse, order=self.order
         )
         self._free_after: dict[int, list[TensorKey]] = defaultdict(list)
         output_keys = {t.key for t in self.outputs}
@@ -95,6 +121,8 @@ class GraphExecutor:
             if life.key not in output_keys:
                 self._free_after[life.free_step].append(life.key)
         self._iteration = 0
+        self._run_timings: list[NodeTiming] | None = None
+        self._sim_timings: list[NodeTiming] | None = None
 
     # -- public API ---------------------------------------------------------
 
@@ -110,10 +138,33 @@ class GraphExecutor:
         params: Mapping[str, np.ndarray] | None = None,
         collect_timings: bool = False,
     ) -> RunResult:
-        """Execute one iteration.
+        """Execute one iteration through the compiled plan.
 
         ``feeds`` maps placeholder node names to arrays; ``params`` maps
         variable node names to arrays. Missing bindings raise.
+        """
+        set_global_step(self._iteration)
+        self._iteration += 1
+        out_arrays = self.plan.run(feeds, params)
+        timings: list[NodeTiming] = []
+        if collect_timings and self.device is not None:
+            if self._run_timings is None:
+                self._run_timings = self._time_nodes(self.order)
+            timings = list(self._run_timings)
+        return RunResult(outputs=out_arrays, timings=timings)
+
+    def run_interpreted(
+        self,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        params: Mapping[str, np.ndarray] | None = None,
+        collect_timings: bool = False,
+    ) -> RunResult:
+        """Execute one iteration by interpreting the schedule node by node.
+
+        This is the original dict-keyed execution loop, kept as the parity
+        baseline: ``run`` must produce bitwise-identical outputs. It is
+        also what the executor microbenchmark measures the compiled plan
+        against.
         """
         feeds = dict(feeds or {})
         params = dict(params or {})
@@ -167,10 +218,21 @@ class GraphExecutor:
         """Cost the schedule on the device model without running kernels."""
         if self.device is None:
             raise ExecutionError("simulate_cost requires a device model")
+        if self._sim_timings is None:
+            self._sim_timings = self._time_nodes(
+                [
+                    n
+                    for n in self.order
+                    if n.op.name not in ("placeholder", "variable")
+                ]
+            )
+        return RunResult(outputs=[], timings=list(self._sim_timings))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _time_nodes(self, nodes: Sequence[Node]) -> list[NodeTiming]:
         timings = []
-        for node in self.order:
-            if node.op.name in ("placeholder", "variable"):
-                continue
+        for node in nodes:
             cost = self.device.node_cost(node)
             timings.append(
                 NodeTiming(
@@ -181,9 +243,7 @@ class GraphExecutor:
                     launches=cost.launches,
                 )
             )
-        return RunResult(outputs=[], timings=timings)
-
-    # -- helpers -------------------------------------------------------------
+        return timings
 
     @staticmethod
     def _bind(
@@ -210,11 +270,21 @@ class TrainingExecutor:
     memory breakdowns match the paper's "Weights" accounting.
     """
 
-    def __init__(self, graph: TrainingGraph, device: Any | None = None) -> None:
+    def __init__(
+        self,
+        graph: TrainingGraph,
+        device: Any | None = None,
+        arena: Arena | None = None,
+        plan_cache: PlanCache | None = None,
+    ) -> None:
         self.graph = graph
         pinned = {g.key: Category.GRADIENT for g in graph.grads.values()}
         self.executor = GraphExecutor(
-            graph.outputs, device=device, pinned_categories=pinned
+            graph.outputs,
+            device=device,
+            pinned_categories=pinned,
+            arena=arena,
+            plan_cache=plan_cache,
         )
 
     @property

@@ -1,0 +1,156 @@
+"""Shape-keyed plan cache: share schedules, memory plans, and compiled plans.
+
+``BucketedTrainer`` builds one training graph per sequence-length bucket and
+the Echo pass re-plans the same graph many times while searching (and again
+per rollback victim). Both end up re-running ``schedule`` + ``plan_memory``
+on structurally identical graphs. The cache keys every planning artifact by
+a *graph signature* — a structural fingerprint over the topological order —
+so repeated plans are O(signature) instead of O(plan).
+
+Node uids are globally unique per process, so two different graphs can never
+collide; and Echo's rewrites change node priorities/inputs in place, which
+changes the signature, so a stale entry is never served. When Echo rolls a
+rewrite *back*, the signature returns to its previous value and the cached
+plan for it is — correctly — reused.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Mapping, Sequence
+
+from repro.graph import Tensor
+from repro.graph.traversal import topo_order
+from repro.runtime.compiled import Arena, CompiledPlan
+from repro.runtime.memory import Category, MemoryPlan, TensorKey, plan_memory
+from repro.runtime.scheduler import schedule
+
+
+def graph_signature(outputs: Sequence[Tensor]) -> Hashable:
+    """Structural fingerprint of the graph reachable from ``outputs``.
+
+    Covers everything the scheduler and memory planner read: node identity,
+    scheduling priority, stage, and the dataflow edges, plus the requested
+    output keys. Attrs and shapes are pinned by uid (nodes are immutable
+    apart from the priority/input rewrites Echo applies, both captured
+    here).
+    """
+    nodes = tuple(
+        (
+            n.uid,
+            n.priority,
+            n.stage,
+            tuple(t.key for t in n.inputs),
+        )
+        for n in topo_order(outputs)
+    )
+    return (nodes, tuple(t.key for t in outputs))
+
+
+class PlanCache:
+    """LRU cache of planning artifacts keyed by graph signature.
+
+    One instance can be shared by many executors (the ``BucketedTrainer``
+    shares one across buckets, like executors sharing a device memory
+    pool). ``hits``/``misses`` count builder invocations saved/paid.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- generic memoization -------------------------------------------------
+
+    def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on first use."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            value = builder()
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    # -- planning artifacts --------------------------------------------------
+
+    def schedule_for(self, outputs: Sequence[Tensor]) -> list:
+        """Cached ``schedule(outputs)``; returns a fresh list each call."""
+        sig = graph_signature(outputs)
+        order = self.memo(("schedule", sig), lambda: schedule(outputs))
+        return list(order)
+
+    def plan_for(
+        self,
+        outputs: Sequence[Tensor],
+        pinned_categories: Mapping[TensorKey, Category] | None = None,
+        order: Sequence | None = None,
+    ) -> MemoryPlan:
+        """Cached ``plan_memory`` for the graph (+ pinned categories)."""
+        sig = graph_signature(outputs)
+        pinned_key = (
+            tuple(sorted(pinned_categories.items()))
+            if pinned_categories
+            else ()
+        )
+        return self.memo(
+            ("memory", sig, pinned_key),
+            lambda: plan_memory(
+                order if order is not None else schedule(outputs),
+                outputs,
+                pinned_categories,
+            ),
+        )
+
+    def compiled_for(
+        self,
+        outputs: Sequence[Tensor],
+        arena: Arena,
+        fuse: bool = True,
+        order: Sequence | None = None,
+    ) -> CompiledPlan:
+        """Cached :class:`CompiledPlan` for (graph, arena, fuse).
+
+        Keyed by ``id(arena)`` — safe because the cached plan holds a
+        reference to the arena, so the id cannot be recycled while the
+        entry lives.
+        """
+        sig = graph_signature(outputs)
+        return self.memo(
+            ("compiled", sig, id(arena), fuse),
+            lambda: CompiledPlan(
+                order if order is not None else schedule(outputs),
+                outputs,
+                arena=arena,
+                fuse=fuse,
+            ),
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class NullPlanCache(PlanCache):
+    """A cache that never retains anything (every call rebuilds).
+
+    Used by parity tests to prove cached planning changes no results, and
+    available to callers who want the old always-rebuild behavior.
+    """
+
+    def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
+        self.misses += 1
+        return builder()
+
+
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide shared plan cache."""
+    return _DEFAULT_CACHE

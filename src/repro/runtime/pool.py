@@ -29,8 +29,16 @@ PAGE_BYTES = 4096
 
 
 def round_up(nbytes: int, page: int = PAGE_BYTES) -> int:
-    """Size class of a request: next multiple of the page size."""
-    if nbytes <= 0:
+    """Size class of a request: next multiple of the page size.
+
+    Zero-byte requests (empty tensors: a zero-length bucket, an all-padding
+    batch) map to class 0, which the pool never reserves or free-lists —
+    real allocators hand back a distinguished empty pointer. Negative sizes
+    are always a caller bug.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative allocation request: {nbytes}")
+    if nbytes == 0:
         return 0
     return ((nbytes + page - 1) // page) * page
 
@@ -44,6 +52,11 @@ class PoolStats:
     rounding_waste_bytes: int  # size-class rounding at the live peak
     reuse_hits: int
     reuse_misses: int
+    #: zero-byte allocations (empty tensors) — never pooled, never reserved
+    zero_byte_requests: int = 0
+    #: bytes of end-of-iteration survivors (outputs, weights, pinned grads)
+    #: handed to the user instead of returning to the free lists
+    pinned_bytes: int = 0
 
     @property
     def fragmentation_fraction(self) -> float:
@@ -69,11 +82,15 @@ class _ExactFitPool:
         self.reserved = 0
         self.hits = 0
         self.misses = 0
+        self.zero_byte = 0
 
     def allocate(self, nbytes: int) -> int:
         """Returns the size class actually handed out."""
         wanted = round_up(nbytes)
         if wanted == 0:
+            # Empty tensor: no reservation, no hit/miss — the pool returns
+            # a distinguished empty pointer without touching free lists.
+            self.zero_byte += 1
             return 0
         # Smallest free class in [wanted, 2*wanted].
         from bisect import bisect_left
@@ -111,8 +128,10 @@ def simulate_pool(plan: MemoryPlan) -> PoolStats:
     live_rounded = 0
     live_exact = 0
     peak_rounding_waste = 0
+    pinned_bytes = 0
 
     num_steps = len(plan.order)
+    last_step = num_steps - 1
     for step in range(num_steps):
         for life in alloc_at[step]:
             cls = pool.allocate(life.nbytes)
@@ -124,7 +143,13 @@ def simulate_pool(plan: MemoryPlan) -> PoolStats:
             peak_rounding_waste = waste
         for life in free_after[step]:
             cls = held.pop(life.key, 0)
-            pool.release(cls)
+            if life.free_step >= last_step:
+                # End-of-iteration survivor (graph output, weight, pinned
+                # gradient): ownership passes to the user/optimizer, so the
+                # buffer never rejoins the free lists.
+                pinned_bytes += cls
+            else:
+                pool.release(cls)
             live_rounded -= cls
             live_exact -= life.nbytes
 
@@ -136,4 +161,6 @@ def simulate_pool(plan: MemoryPlan) -> PoolStats:
         rounding_waste_bytes=peak_rounding_waste,
         reuse_hits=pool.hits,
         reuse_misses=pool.misses,
+        zero_byte_requests=pool.zero_byte,
+        pinned_bytes=pinned_bytes,
     )

@@ -18,6 +18,7 @@ from repro.echo import EchoConfig, EchoPass
 from repro.gpumodel import DeviceModel
 from repro.models.nmt import NmtConfig, build_nmt
 from repro.nn import ParamStore
+from repro.runtime import Arena, PlanCache
 from repro.train.optimizer import Optimizer
 from repro.train.trainer import TrainRecord, Trainer
 
@@ -47,6 +48,10 @@ class BucketedTrainer:
         self.params: dict[str, np.ndarray] | None = None
         self._trainers: dict[BucketSpec, Trainer] = {}
         self.echo_reports = {}
+        #: one arena + plan cache shared by every bucket's executor, the
+        #: host-side analogue of "executors share the memory pool"
+        self.arena = Arena()
+        self.plan_cache = PlanCache()
 
         for bucket in buckets:
             cfg = replace(
@@ -55,7 +60,7 @@ class BucketedTrainer:
             model = build_nmt(cfg, store=store)
             if echo:
                 self.echo_reports[bucket] = EchoPass(
-                    echo_config, self.device
+                    echo_config, self.device, plan_cache=self.plan_cache
                 ).run(model.graph)
             if self.params is None:
                 self.params = store.initialize()
@@ -65,6 +70,8 @@ class BucketedTrainer:
                 optimizer,
                 device=self.device,
                 batch_size=cfg.batch_size,
+                arena=self.arena,
+                plan_cache=self.plan_cache,
             )
         self.store = store
         self.history: list[TrainRecord] = []

@@ -12,7 +12,7 @@ import pathlib
 
 import numpy as np
 
-from repro.train.optimizer import SGD, Adam, Optimizer
+from repro.train.optimizer import SGD, Adam
 from repro.train.trainer import Trainer
 
 _META_KEY = "__checkpoint_meta__"

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.autodiff.training import TrainingGraph
 from repro.gpumodel import DeviceModel
-from repro.runtime import TrainingExecutor
+from repro.runtime import Arena, PlanCache, TrainingExecutor
 from repro.train.metrics import perplexity
 from repro.train.optimizer import Optimizer
 
@@ -66,12 +66,16 @@ class Trainer:
         optimizer: Optimizer,
         device: DeviceModel | None = None,
         batch_size: int | None = None,
+        arena: Arena | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         self.graph = graph
         self.params = params
         self.optimizer = optimizer
         self.device = device or DeviceModel()
-        self.executor = TrainingExecutor(graph, device=self.device)
+        self.executor = TrainingExecutor(
+            graph, device=self.device, arena=arena, plan_cache=plan_cache
+        )
         self.batch_size = batch_size or _infer_batch(graph)
         num_params = sum(int(p.size) for p in params.values())
         cost = self.executor.simulate_cost()

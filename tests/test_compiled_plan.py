@@ -1,0 +1,320 @@
+"""Tests for compiled execution plans: parity, fusion, arena, plan cache."""
+
+import numpy as np
+import pytest
+
+import repro.ops as O
+from repro.autodiff import compile_training
+from repro.models import WordLmConfig, build_word_lm
+from repro.ops.dropout import set_global_step
+from repro.runtime import (
+    Arena,
+    CompiledPlan,
+    ExecutionError,
+    GraphExecutor,
+    NullPlanCache,
+    PlanCache,
+    TrainingExecutor,
+    graph_signature,
+    schedule,
+)
+
+
+def small_lm(dropout=0.0):
+    cfg = WordLmConfig(
+        vocab_size=60,
+        embed_size=8,
+        hidden_size=8,
+        num_layers=2,
+        seq_len=5,
+        batch_size=3,
+        dropout=dropout,
+    )
+    return build_word_lm(cfg)
+
+
+def lm_feeds(cfg, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "tokens": rng.integers(0, cfg.vocab_size, (cfg.seq_len, cfg.batch_size)),
+        "labels": rng.integers(-1, cfg.vocab_size, (cfg.seq_len, cfg.batch_size)),
+    }
+
+
+class TestParity:
+    def test_bitwise_identical_to_interpreter(self):
+        model = small_lm(dropout=0.3)
+        params = model.store.initialize(seed=1)
+        feeds = lm_feeds(model.config)
+        compiled = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        interp = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        for _ in range(3):  # same dropout step sequence on both sides
+            got = compiled.run(feeds, params).outputs
+            want = interp.run_interpreted(feeds, params).outputs
+            assert len(got) == len(want)
+            for a, b in zip(want, got):
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_unfused_plan_matches_fused(self):
+        model = small_lm()
+        params = model.store.initialize(seed=2)
+        feeds = lm_feeds(model.config)
+        fused = GraphExecutor(
+            model.graph.outputs, plan_cache=PlanCache(), fuse=True
+        )
+        unfused = GraphExecutor(
+            model.graph.outputs, plan_cache=PlanCache(), fuse=False
+        )
+        assert fused.plan.fused_chain_count > 0
+        assert unfused.plan.fused_chain_count == 0
+        for a, b in zip(
+            fused.run(feeds, params).outputs,
+            unfused.run(feeds, params).outputs,
+        ):
+            assert np.array_equal(a, b)
+
+    def test_training_executor_loss_and_grads(self):
+        model = small_lm()
+        params = model.store.initialize(seed=3)
+        feeds = lm_feeds(model.config)
+        ex = TrainingExecutor(model.graph)
+        loss, grads, _ = ex.run(feeds, params)
+        assert np.isfinite(loss)
+        assert set(grads) == set(model.graph.grads)
+        base = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        want = base.run_interpreted(feeds, params).outputs
+        assert float(want[0]) == loss
+
+
+class TestErrorContract:
+    def test_missing_placeholder(self):
+        x = O.placeholder((2, 2), np.float64, name="px")
+        y = O.add(x, x)
+        ex = GraphExecutor([y], plan_cache=PlanCache())
+        with pytest.raises(ExecutionError, match="placeholder 'px' was not bound"):
+            ex.run({})
+
+    def test_shape_mismatch_on_feed(self):
+        x = O.placeholder((2, 2), np.float64, name="px")
+        y = O.add(x, x)
+        ex = GraphExecutor([y], plan_cache=PlanCache())
+        with pytest.raises(ExecutionError, match="bound shape"):
+            ex.run({"px": np.zeros((3, 3))})
+
+    def test_missing_variable(self):
+        w = O.variable((2,), np.float64, name="vw")
+        y = O.mul(w, w)
+        ex = GraphExecutor([y], plan_cache=PlanCache())
+        with pytest.raises(ExecutionError, match="variable 'vw' was not bound"):
+            ex.run({}, {})
+
+
+class TestFusion:
+    def test_chain_collapses_to_one_instruction(self):
+        x = O.placeholder((4, 4), np.float64, name="x")
+        y = O.tanh(O.mul_scalar(O.add_scalar(x, 1.0), 2.0))
+        plan = CompiledPlan(schedule([y]), [y])
+        assert plan.fused_chain_count == 1
+        assert plan.fused_node_count == 3
+        got = plan.run({"x": np.ones((4, 4))})
+        want = np.tanh((np.ones((4, 4)) + 1.0) * 2.0)
+        assert np.array_equal(got[0], want)
+
+    def test_fanout_node_stays_materialized(self):
+        x = O.placeholder((4,), np.float64, name="x")
+        a = O.add_scalar(x, 1.0)
+        y = O.add(O.tanh(a), a)  # a has two consumers: never absorbed
+        plan = CompiledPlan(schedule([y]), [y])
+        # tanh may fuse into add, but the fanout node a must keep a slot
+        # (it is read again after tanh consumes it).
+        assert (a.node.uid, 0) in plan._slot_of
+        arr = np.arange(4.0)
+        got = plan.run({"x": arr})
+        assert np.array_equal(got[0], np.tanh(arr + 1.0) + (arr + 1.0))
+
+    def test_graph_output_not_absorbed(self):
+        x = O.placeholder((4,), np.float64, name="x")
+        a = O.add_scalar(x, 1.0)
+        y = O.tanh(a)
+        plan = CompiledPlan(schedule([a, y]), [a, y])
+        assert plan.fused_node_count == 0
+        arr = np.arange(4.0)
+        got = plan.run({"x": arr})
+        assert np.array_equal(got[0], arr + 1.0)
+        assert np.array_equal(got[1], np.tanh(arr + 1.0))
+
+    def test_fusion_never_crosses_stage(self):
+        model = small_lm()
+        ex = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        for step in ex.plan._steps:
+            if getattr(step, "_fused", False):
+                # every fused instruction's members share one stage
+                pass  # structural guarantee checked at compile; smoke only
+        # explicit check on the compiled chains:
+        plan = ex.plan
+        chains = CompiledPlan._fuse_chains(
+            [
+                n
+                for n in plan.order
+                if n.op.name not in ("placeholder", "variable", "constant")
+            ],
+            {t.key for t in plan.outputs},
+        )
+        for chain in chains:
+            assert len({n.stage for n in chain}) == 1
+
+
+class TestArena:
+    def test_steady_state_allocates_only_outputs(self):
+        model = small_lm(dropout=0.2)
+        params = model.store.initialize(seed=4)
+        feeds = lm_feeds(model.config)
+        ex = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        for _ in range(3):  # warm the arena
+            ex.run(feeds, params)
+        arena, plan = ex.arena, ex.plan
+        fresh0, generic0 = arena.fresh_count, plan.generic_alloc_count
+        ex.run(feeds, params)
+        fresh = arena.fresh_count - fresh0
+        generic = plan.generic_alloc_count - generic0
+        # Fresh arena buffers per iteration are bounded by the escaping
+        # outputs; generic allocations by the few non-out= kernels
+        # (dropout's two results, the scalar loss).
+        assert fresh <= len(model.graph.outputs)
+        assert generic <= 8
+        # Every other intermediate writes into one of the plan's static
+        # buffers, assigned once at compile time by replaying the arena's
+        # free lists over the instruction stream.
+        assert plan.static_slot_count > 10 * (fresh + generic)
+        assert plan.static_storage_bytes > 0
+
+    def test_outputs_not_recycled_across_iterations(self):
+        x = O.placeholder((3,), np.float64, name="x")
+        y = O.mul_scalar(O.add_scalar(x, 1.0), 3.0)
+        ex = GraphExecutor([y], plan_cache=PlanCache())
+        first = ex.run({"x": np.zeros(3)}).outputs[0]
+        snapshot = first.copy()
+        ex.run({"x": np.full(3, 9.0)})
+        assert np.array_equal(first, snapshot)
+
+    def test_zero_byte_tensors(self):
+        x = O.placeholder((0, 4), np.float64, name="x")
+        y = O.reduce_sum(O.mul_scalar(x, 2.0))
+        ex = GraphExecutor([y], plan_cache=PlanCache())
+        out = ex.run({"x": np.zeros((0, 4))}).outputs[0]
+        assert float(out) == 0.0
+        assert ex.arena.zero_byte_count > 0
+
+    def test_release_ignores_foreign_arrays(self):
+        arena = Arena()
+        arena.release(np.zeros(8))  # never acquired — must be a no-op
+        assert arena.held_bytes == 0
+        buf = arena.acquire((4,), np.dtype(np.float64), 32)
+        arena.release(buf)
+        assert arena.held_bytes > 0
+        again = arena.acquire((4,), np.dtype(np.float64), 32)
+        assert arena.reuse_count == 1
+        assert again.shape == (4,)
+
+
+class TestPlanCache:
+    def test_same_graph_shares_plan(self):
+        model = small_lm()
+        cache = PlanCache()
+        arena = Arena()
+        a = GraphExecutor(model.graph.outputs, arena=arena, plan_cache=cache)
+        b = GraphExecutor(model.graph.outputs, arena=arena, plan_cache=cache)
+        assert a.plan is b.plan
+        assert cache.hits >= 3  # schedule, memory plan, compiled plan
+
+    def test_different_arena_different_plan(self):
+        model = small_lm()
+        cache = PlanCache()
+        a = GraphExecutor(model.graph.outputs, arena=Arena(), plan_cache=cache)
+        b = GraphExecutor(model.graph.outputs, arena=Arena(), plan_cache=cache)
+        assert a.plan is not b.plan
+
+    def test_signature_tracks_priority_rewrites(self):
+        x = O.placeholder((2,), np.float64, name="x")
+        y = O.add_scalar(x, 1.0)
+        sig0 = graph_signature([y])
+        assert graph_signature([y]) == sig0
+        y.node.priority += 1
+        try:
+            assert graph_signature([y]) != sig0
+        finally:
+            y.node.priority -= 1
+        assert graph_signature([y]) == sig0
+
+    def test_null_cache_never_retains(self):
+        model = small_lm()
+        cache = NullPlanCache()
+        a = GraphExecutor(model.graph.outputs, plan_cache=cache)
+        b = GraphExecutor(model.graph.outputs, plan_cache=cache)
+        assert a.plan is not b.plan
+        assert cache.hits == 0
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.memo("a", lambda: 1)
+        cache.memo("b", lambda: 2)
+        cache.memo("c", lambda: 3)
+        assert cache.memo("a", lambda: -1) == -1  # evicted, rebuilt
+
+
+class TestTrainingParity:
+    def test_two_steps_of_sgd_match_interpreter(self):
+        from repro.train.optimizer import SGD
+
+        model_a = small_lm()
+        model_b = small_lm()
+        params_a = model_a.store.initialize(seed=5)
+        params_b = model_b.store.initialize(seed=5)
+        feeds = lm_feeds(model_a.config)
+        opt_a, opt_b = SGD(0.1), SGD(0.1)
+
+        ex_a = GraphExecutor(model_a.graph.outputs, plan_cache=PlanCache())
+        ex_b = GraphExecutor(model_b.graph.outputs, plan_cache=PlanCache())
+        names = list(model_a.graph.grads)
+        for _ in range(2):
+            out_a = ex_a.run(feeds, params_a).outputs
+            out_b = ex_b.run_interpreted(feeds, params_b).outputs
+            ga = dict(zip(names, out_a[1:]))
+            gb = dict(zip(names, out_b[1:]))
+            opt_a.update(params_a, ga)
+            opt_b.update(params_b, gb)
+        for name in params_a:
+            assert np.array_equal(params_a[name], params_b[name])
+
+
+class TestEchoCompiledParity:
+    def test_echo_rewritten_graph_runs_compiled(self):
+        from repro.echo import EchoConfig, optimize
+
+        model = small_lm()
+        report = optimize(
+            model.graph, EchoConfig(), plan_cache=PlanCache()
+        )
+        assert report.optimized_peak_bytes <= report.baseline_peak_bytes
+        params = model.store.initialize(seed=6)
+        feeds = lm_feeds(model.config)
+        ex = GraphExecutor(model.graph.outputs, plan_cache=PlanCache())
+        got = ex.run(feeds, params).outputs
+        want = ex.run_interpreted(feeds, params).outputs
+        set_global_step(0)
+        for a, b in zip(want, got):
+            assert np.array_equal(a, b)
+
+
+class TestDeterminism:
+    def test_dropout_steps_advance_identically(self):
+        x = O.placeholder((8, 8), np.float64, name="x")
+        y = O.reduce_sum(O.dropout(x, 0.5, seed=7))
+        graph = compile_training(y, params={}, placeholders={"x": x})
+        a = GraphExecutor(graph.outputs, plan_cache=PlanCache())
+        b = GraphExecutor(graph.outputs, plan_cache=PlanCache())
+        arr = np.ones((8, 8))
+        r1 = [float(a.run({"x": arr}).outputs[0]) for _ in range(3)]
+        r2 = [float(b.run_interpreted({"x": arr}).outputs[0]) for _ in range(3)]
+        assert r1 == r2

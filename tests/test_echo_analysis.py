@@ -1,7 +1,6 @@
 """Unit tests for Echo's analysis internals: stash detection, candidate
 mining details, the stream-aware cost accounting, and rewrite mechanics."""
 
-import numpy as np
 import pytest
 
 import repro.ops as O

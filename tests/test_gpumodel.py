@@ -1,7 +1,5 @@
 """Tests for the GPU device & cost model (the silicon substitute)."""
 
-import numpy as np
-import pytest
 
 import repro.ops as O
 from repro.gpumodel import (

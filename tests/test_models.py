@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import Stage, topo_order
+from repro.graph import Stage
 from repro.gpumodel import DeviceModel
 from repro.models import (
     NmtConfig,
@@ -119,6 +119,7 @@ class TestNmt:
             n for n in model.graph.nodes()
             if n.op.name == "sigmoid" and n.scope.startswith("rnn")
         ]
+        assert not decoder_gates, "decoder must not use fused cells"
         assert unfused_sigmoids, "decoder should use unfused cells"
 
     def test_teacher_forcing_loss_finite(self):

@@ -4,13 +4,10 @@ import numpy as np
 import pytest
 
 import repro.ops as O
-from repro.graph import Tensor
-from repro.layout import Layout
 from repro.nn import (
     Backend,
     DotAttention,
     GruCell,
-    LstmCell,
     MlpAttention,
     OutputLayer,
     ParamStore,

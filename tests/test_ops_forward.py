@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 import repro.ops as O
-from repro.graph import OpError, ShapeError
+from repro.graph import ShapeError
 from repro.layout import Layout
 from repro.runtime import GraphExecutor
 from tests.helpers import rng

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 import repro.ops as O
 from repro.autodiff import compile_training
 from repro.echo import EchoConfig, optimize
-from repro.graph import ShapeError, Tensor, broadcast_shapes
+from repro.graph import ShapeError, broadcast_shapes
 from repro.graph.shapes import reduced_shape
 from repro.runtime import (
     Category,
@@ -274,3 +274,93 @@ class TestBleuProperties:
     def test_disjoint_vocab_scores_zero_unsmoothed(self, sentences):
         disjoint = [[t + 100 for t in s] for s in sentences]
         assert corpus_bleu(disjoint, sentences, smooth=False) == 0.0
+
+
+# -- compiled-plan fusion properties ------------------------------------------
+
+_CHAIN_UNARY = ["tanh", "sigmoid", "relu", "neg", "add_scalar", "mul_scalar",
+                "rsub_scalar", "dropout"]
+_CHAIN_BINARY = ["add", "mul", "sub"]
+
+
+@st.composite
+def elementwise_chains(draw):
+    """A random elementwise/activation program over broadcastable inputs.
+
+    Returns (steps, input_shapes): each step is ("unary", name) applied to
+    the running value, or ("binary", name, input_index) combining it with
+    one of the graph inputs (possibly of broadcast shape).
+    """
+    shapes = [(3, 4), draw(st.sampled_from([(3, 4), (1, 4), (3, 1), ()]))]
+    n = draw(st.integers(2, 8))
+    steps = []
+    for _ in range(n):
+        if draw(st.booleans()):
+            steps.append(("unary", draw(st.sampled_from(_CHAIN_UNARY))))
+        else:
+            steps.append((
+                "binary",
+                draw(st.sampled_from(_CHAIN_BINARY)),
+                draw(st.integers(0, len(shapes) - 1)),
+            ))
+    return steps, shapes
+
+
+def _build_chain(steps, placeholders):
+    cur = placeholders[0]
+    for k, step in enumerate(steps):
+        if step[0] == "unary":
+            name = step[1]
+            if name == "add_scalar":
+                cur = O.add_scalar(cur, 0.5)
+            elif name == "mul_scalar":
+                cur = O.mul_scalar(cur, 1.25)
+            elif name == "rsub_scalar":
+                cur = O.rsub_scalar(cur, 1.0)
+            elif name == "neg":
+                cur = O.neg(cur)
+            elif name == "dropout":
+                cur = O.dropout(cur, 0.4, seed=17 + k)
+            else:
+                cur = getattr(O, name)(cur)
+        else:
+            _, name, idx = step
+            cur = getattr(O, name)(cur, placeholders[idx])
+    return O.reduce_sum(O.mul(cur, cur))
+
+
+class TestFusedExecutionProperties:
+    """Compiled (fused, arena-reusing) execution is bitwise-identical to
+    the interpreted baseline on random elementwise/activation chains —
+    outputs AND gradients, including broadcast and step-seeded dropout."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(elementwise_chains(), st.integers(0, 2**31 - 1))
+    def test_fused_matches_unfused_bitwise(self, chain, seed):
+        from repro.autodiff import build_gradients
+        from repro.runtime import PlanCache
+
+        steps, shapes = chain
+        placeholders = [
+            O.placeholder(s, np.float64, name=f"pb_in{i}")
+            for i, s in enumerate(shapes)
+        ]
+        loss = _build_chain(steps, placeholders)
+        grad_map = build_gradients(loss, placeholders)
+        grads = [g for g in grad_map.values() if g is not None]
+        outputs = [loss, *grads]
+
+        rng = np.random.default_rng(seed)
+        feeds = {
+            f"pb_in{i}": rng.standard_normal(s) for i, s in enumerate(shapes)
+        }
+
+        compiled = GraphExecutor(outputs, plan_cache=PlanCache())
+        interp = GraphExecutor(outputs, plan_cache=PlanCache())
+        for _ in range(2):  # two iterations: dropout steps must track
+            got = compiled.run(feeds).outputs
+            want = interp.run_interpreted(feeds).outputs
+            for a, b in zip(want, got):
+                assert a.dtype == b.dtype
+                assert a.shape == b.shape
+                assert np.array_equal(a, b), "fused result diverged"

@@ -5,7 +5,7 @@ import pytest
 
 import repro.ops as O
 from repro.autodiff import compile_training
-from repro.graph import Stage, topo_order
+from repro.graph import Stage
 from repro.runtime import (
     Category,
     ExecutionError,
