@@ -7,7 +7,12 @@ from repro.echo.analysis import (
     stashed_tensors,
 )
 from repro.echo.config import EchoConfig
-from repro.echo.pass_ import EchoPass, EchoReport, optimize
+from repro.echo.pass_ import (
+    EchoPass,
+    EchoReport,
+    check_barrier_legality,
+    optimize,
+)
 from repro.echo.rewrite import AppliedCandidate, apply_candidate
 
 __all__ = [
@@ -15,6 +20,7 @@ __all__ = [
     "EchoPass",
     "EchoReport",
     "optimize",
+    "check_barrier_legality",
     "Candidate",
     "mine_candidates",
     "stashed_tensors",

@@ -30,6 +30,7 @@ from repro.echo.analysis import (
 from repro.echo.config import EchoConfig
 from repro.echo.rewrite import AppliedCandidate, apply_candidate
 from repro.gpumodel import DeviceModel
+from repro.graph import Node, Stage
 from repro.runtime.memory import MemoryPlan
 from repro.runtime.plancache import PlanCache, default_plan_cache, graph_signature
 
@@ -237,10 +238,39 @@ class EchoPass:
             if not applied:
                 _new_order, new_plan = self._replan(outputs)
 
+        check_barrier_legality(_new_order)
+
         report.recompute_seconds = spent
         report.optimized_peak_bytes = new_plan.peak_bytes
         report.optimized_plan = new_plan
         return report
+
+
+def check_barrier_legality(order: list[Node]) -> None:
+    """Verify the rewritten schedule respects Echo's stage barriers.
+
+    The wavefront executor treats stage transitions in the schedule as
+    hard barriers (see :func:`repro.runtime.wavefront.analyze_wavefronts`)
+    — that is only a *complete* fence around a recompute region if no
+    FORWARD node ever consumes a RECOMPUTE value (the forward pass must be
+    closed under the barrier, or a recompute region would need to replay
+    before parts of the pass it was mirrored from) and every recompute
+    region drains into the backward pass. Violations indicate a broken
+    rewrite, not a planning choice, so this raises instead of degrading.
+    """
+    recompute_uids = {n.uid for n in order if n.stage is Stage.RECOMPUTE}
+    if not recompute_uids:
+        return
+    for node in order:
+        if node.stage is not Stage.FORWARD:
+            continue
+        for t in node.inputs:
+            if t.node.uid in recompute_uids:
+                raise RuntimeError(
+                    f"Echo barrier violation: forward node {node!r} consumes "
+                    f"recompute value {t.node!r}; stage runs are no longer "
+                    "valid execution barriers"
+                )
 
 
 def optimize(

@@ -15,7 +15,12 @@ from repro.graph.node import (
 from repro.graph.op import Op, OpError, get_op, register, registered_ops
 from repro.graph.shapes import ShapeError, broadcast_shapes
 from repro.graph.printing import GraphSummary, format_graph, summarize
-from repro.graph.traversal import ancestors, consumers_map, topo_order
+from repro.graph.traversal import (
+    ancestors,
+    consumers_map,
+    dependency_levels,
+    topo_order,
+)
 
 __all__ = [
     "Node",
@@ -34,6 +39,7 @@ __all__ = [
     "topo_order",
     "consumers_map",
     "ancestors",
+    "dependency_levels",
     "summarize",
     "format_graph",
     "GraphSummary",

@@ -25,6 +25,7 @@ import repro.ops as O
 from repro.graph import Tensor, scope
 from repro.layout import Layout
 from repro.nn.module import ParamStore
+from repro.ops.dropout import stable_seed
 
 
 class Backend(Enum):
@@ -225,7 +226,11 @@ def multilayer_lstm(
         )
         states.append(final)
         if dropout > 0.0 and layer < num_layers - 1:
-            current = O.dropout(current, dropout, seed=hash((prefix, layer)) & 0xFFFF)
+            # stable_seed, not hash(): hash() is salted per process, which
+            # would give every process different masks and training curves.
+            current = O.dropout(
+                current, dropout, seed=stable_seed(prefix, layer)
+            )
     return current, states
 
 

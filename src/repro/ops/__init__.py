@@ -7,7 +7,7 @@ Importing this package also installs arithmetic operator overloads on
 from repro.ops.activation import relu, sigmoid, tanh
 from repro.ops.conv import conv2d
 from repro.ops.ctc import ctc_loss
-from repro.ops.dropout import dropout, set_global_step
+from repro.ops.dropout import dropout, set_global_step, stable_seed
 from repro.ops.elementwise import (
     add,
     add_scalar,
@@ -54,6 +54,7 @@ __all__ = [
     "reshape", "transpose", "slice_axis", "concat", "split",
     "broadcast_to", "expand_dims",
     "softmax", "layer_norm", "embedding", "sequence_reverse", "dropout",
+    "stable_seed",
     "set_global_step", "lstm_gates", "softmax_cross_entropy", "conv2d", "ctc_loss",
     "placeholder", "variable", "constant", "zeros",
 ]

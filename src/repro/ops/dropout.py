@@ -9,6 +9,7 @@ numerics. The executor bumps ``step`` once per iteration via
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -16,6 +17,18 @@ import numpy as np
 from repro.graph import Node, Op, Tensor, TensorSpec, register
 
 _GLOBAL_STEP = 0
+
+
+def stable_seed(*parts) -> int:
+    """Process-stable dropout seed from structural identifiers.
+
+    Python's ``hash()`` is salted per process (``PYTHONHASHSEED``), so
+    seeding a mask from ``hash((prefix, layer))`` makes masks — and with
+    them training curves and cross-process parity tests — irreproducible.
+    This digests the parts' repr with ``zlib.crc32``, which is a fixed
+    function of its input everywhere.
+    """
+    return zlib.crc32(repr(parts).encode("utf-8")) & 0xFFFF
 
 
 def set_global_step(step: int) -> None:

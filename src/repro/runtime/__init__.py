@@ -22,6 +22,14 @@ from repro.runtime.plancache import (
 )
 from repro.runtime.pool import PoolStats, round_up, simulate_pool
 from repro.runtime.scheduler import SchedulingError, schedule, validate_schedule
+from repro.runtime.wavefront import (
+    InstrInfo,
+    Wavefront,
+    WavefrontSchedule,
+    analyze_wavefronts,
+    partition_chunks,
+)
+from repro.runtime.workers import WorkerPool, default_thread_count, shared_pool
 
 __all__ = [
     "schedule",
@@ -45,4 +53,12 @@ __all__ = [
     "NullPlanCache",
     "default_plan_cache",
     "graph_signature",
+    "InstrInfo",
+    "Wavefront",
+    "WavefrontSchedule",
+    "analyze_wavefronts",
+    "partition_chunks",
+    "WorkerPool",
+    "default_thread_count",
+    "shared_pool",
 ]

@@ -15,27 +15,48 @@ for every intermediate on every iteration. This module lowers a schedule
   one instruction that streams a single accumulator buffer through the
   chain with ``out=`` kernels (the cuDNN-style pointwise fusion the paper's
   Figure 7a launch-bound story rests on);
+* isomorphic single-consumer ``matmul`` nodes are **batched** into one
+  stacked GEMM instruction (``batch_gemms``): same-shape groups — the per
+  decoder-step attention scoring GEMMs are the signature case — execute as
+  one ``np.matmul`` over a leading group axis, cutting kernel dispatches
+  where thread parallelism cannot help;
 * an **arena** recycles buffers by size class (the ``pool.py`` rounding
   rules), and — because a plan's instruction stream repeats identically
   every iteration — the arena's free-list replay runs *at compile time*:
   each intermediate gets a **static buffer** reused across slots exactly as
   the runtime free lists would have, and ``out=`` kernels write straight
   into those closure-bound arrays. Steady-state iterations allocate only
-  the run's escaping outputs.
+  the run's escaping outputs;
+* with ``threads > 1`` the instruction stream is partitioned into
+  **wavefronts** (:mod:`repro.runtime.wavefront`): dependency levels whose
+  instructions execute as cost-balanced chunks on a persistent worker pool
+  (:mod:`repro.runtime.workers`). The numpy kernels release the GIL, so
+  independent chunks overlap on multicore hosts. Levels too small to
+  amortize a thread handoff stay serial (the ``repro.gpumodel`` cost model
+  gates them), Echo stage boundaries remain barriers, and storage-hazard
+  edges (the arena reuses raw pages across slots) serialize any two
+  instructions that touch the same page — so parallel execution is
+  bitwise-identical to serial execution by construction.
 
 Plans compiled against a shared arena (the bucketed trainer) draw their
 static buffers from the same free lists, so different bucket plans overlay
 the same storage — footprint follows the largest bucket, not the sum, the
 host-side analogue of the paper's executors sharing one memory pool. This
 is safe because executors run one iteration to completion at a time and
-outputs never alias plan storage.
+outputs never alias plan storage. The arena itself is thread-safe (striped
+free lists), so parallel chunks may allocate escaping outputs concurrently.
 
 Numerics are bitwise-identical to the interpreted loop: every
 ``compute_into`` implementation reproduces its ``compute`` expression tree
-exactly, and fusion only reorders *where* a kernel runs in the schedule
-(legal because the chain's interior values have exactly one consumer), never
-what it computes. Fusion never crosses a stage boundary, so Echo's mirrored
-recompute regions keep their checkpoint semantics.
+exactly; fusion only reorders *where* a kernel runs in the schedule (legal
+because the chain's interior values have exactly one consumer); batching
+issues the same per-slice BLAS call through a stacked view; and wavefront
+execution only overlaps instructions with no value or storage hazard
+between them. Fusion, batching, and wavefronts never cross a stage
+boundary, so Echo's mirrored recompute regions keep their checkpoint
+semantics and the pass's stash/footprint accounting — which reads the
+node-based memory plan, not the lowered stream — is field-for-field
+unchanged.
 
 The simulated *cost* and *memory* models stay node-based: plans report the
 same per-node timings and the memory planner sees the original schedule, so
@@ -45,15 +66,23 @@ faster.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.graph import Node, Tensor
+from repro.ops.matmul import gemm_batch_key, stacked_operand
 from repro.runtime.memory import TensorKey
 from repro.runtime.pool import round_up
+from repro.runtime.wavefront import InstrInfo, analyze_wavefronts, partition_chunks
+from repro.runtime.workers import WorkerPool, shared_pool
 
 _SOURCE_OPS = ("placeholder", "variable")
+
+#: free-list stripes of the thread-safe arena; size classes hash across
+#: stripes so concurrent acquire/release rarely contend on one lock
+_ARENA_STRIPES = 8
 
 
 class ExecutionError(RuntimeError):
@@ -123,13 +152,25 @@ class Arena:
     Zero-byte requests are never pooled (a class-0 free list would alias
     every empty tensor onto one entry).
 
+    The free lists are **striped**: size classes hash onto
+    ``_ARENA_STRIPES`` independently-locked shards, so wavefront chunks
+    (and plans compiling concurrently against a shared arena) can
+    acquire/release without funneling through one lock. Counters share a
+    single stats lock — they are off the acquire fast path's hot fields
+    only in the sense that the critical section is a couple of integer
+    adds.
+
     :class:`CompiledPlan` drives acquire/release during *compilation* to
     assign static buffers; at runtime only :meth:`acquire_fresh` is called,
     for outputs that escape the plan.
     """
 
     def __init__(self) -> None:
-        self._free: dict[int, list[np.ndarray]] = {}
+        self._stripes: list[dict[int, list[np.ndarray]]] = [
+            {} for _ in range(_ARENA_STRIPES)
+        ]
+        self._locks = [threading.Lock() for _ in range(_ARENA_STRIPES)]
+        self._stats_lock = threading.Lock()
         #: buffers created outside the free lists (pool misses and escaping
         #: outputs); steady-state iterations add only the run's outputs
         self.fresh_count = 0
@@ -140,17 +181,29 @@ class Arena:
         #: cumulative bytes of fresh buffers
         self.fresh_bytes = 0
 
+    @staticmethod
+    def _stripe_of(size_class: int) -> int:
+        from repro.runtime.pool import PAGE_BYTES
+
+        return (size_class // PAGE_BYTES) % _ARENA_STRIPES
+
     def acquire(
         self, shape: tuple[int, ...], dtype: np.dtype, nbytes: int
     ) -> np.ndarray:
         if nbytes <= 0:
-            self.zero_byte_count += 1
+            with self._stats_lock:
+                self.zero_byte_count += 1
             return np.empty(shape, dtype=dtype)
         cls = round_up(nbytes)
-        bucket = self._free.get(cls)
-        if bucket:
-            arr = bucket.pop()
-            self.reuse_count += 1
+        stripe = self._stripe_of(cls)
+        arr = None
+        with self._locks[stripe]:
+            bucket = self._stripes[stripe].get(cls)
+            if bucket:
+                arr = bucket.pop()
+        if arr is not None:
+            with self._stats_lock:
+                self.reuse_count += 1
             # Fast path: repeated compilations against a shared arena ask
             # for the same shapes, so the free list usually hands back a
             # view already shaped for this request.
@@ -161,8 +214,9 @@ class Arena:
                 raw = raw.base
         else:
             raw = np.empty(cls, dtype=np.uint8)
-            self.fresh_count += 1
-            self.fresh_bytes += cls
+            with self._stats_lock:
+                self.fresh_count += 1
+                self.fresh_bytes += cls
         return raw[:nbytes].view(dtype).reshape(shape)
 
     def acquire_fresh(
@@ -173,11 +227,12 @@ class Arena:
         Never served from the free lists: a pooled raw buffer may be some
         plan's static storage, and an output must survive later iterations.
         """
-        if nbytes <= 0:
-            self.zero_byte_count += 1
-        else:
-            self.fresh_count += 1
-            self.fresh_bytes += nbytes
+        with self._stats_lock:
+            if nbytes <= 0:
+                self.zero_byte_count += 1
+            else:
+                self.fresh_count += 1
+                self.fresh_bytes += nbytes
         return np.empty(shape, dtype=dtype)
 
     def release(self, arr: np.ndarray) -> None:
@@ -188,21 +243,30 @@ class Arena:
             return  # not an arena buffer (zero-byte or foreign array)
         # Park the shaped view itself (its .base pins the raw buffer);
         # acquire re-derives the raw page only on a shape mismatch.
-        self._free.setdefault(base.nbytes, []).append(arr)
+        stripe = self._stripe_of(base.nbytes)
+        with self._locks[stripe]:
+            self._stripes[stripe].setdefault(base.nbytes, []).append(arr)
 
     @property
     def held_bytes(self) -> int:
         """Bytes currently parked on the free lists."""
-        return sum(cls * len(b) for cls, b in self._free.items())
+        total = 0
+        for stripe, lock in zip(self._stripes, self._locks):
+            with lock:
+                total += sum(cls * len(b) for cls, b in stripe.items())
+        return total
 
 
 class CompiledPlan:
     """A schedule lowered to slot-indexed instruction closures.
 
-    Built once per (graph, arena) pair; :meth:`run` executes one iteration.
-    The plan's static buffers are reused across iterations, so a plan (and
-    any plan sharing its arena) must not run re-entrantly; the training
-    loop runs one iteration to completion at a time, matching the seed.
+    Built once per (graph, arena, thread config); :meth:`run` executes one
+    iteration. The plan's static buffers are reused across iterations, so
+    a plan (and any plan sharing its arena) must not run re-entrantly; the
+    training loop runs one iteration to completion at a time, matching the
+    seed. With ``threads > 1`` a single iteration's independent
+    instructions overlap internally, but the iteration still runs to
+    completion before the next begins.
     """
 
     def __init__(
@@ -211,14 +275,26 @@ class CompiledPlan:
         outputs: Sequence[Tensor],
         arena: Arena | None = None,
         fuse: bool = True,
+        threads: int = 1,
+        batch_gemms: bool | None = None,
+        device: Any | None = None,
     ) -> None:
         self.order = list(order)
         self.outputs = list(outputs)
         self.arena = arena if arena is not None else Arena()
         self.fuse = fuse
+        self.threads = max(1, int(threads))
+        #: batching defaults on exactly when wavefront execution is on —
+        #: the serial default path stays byte-for-byte the PR-1 plan
+        self.batch_gemms = (
+            self.threads > 1 if batch_gemms is None else bool(batch_gemms)
+        )
+        self._device = device
         #: result arrays allocated by generic (non-``out=``) instructions,
         #: cumulative across runs (benchmarks read deltas)
         self.generic_alloc_count = 0
+        self._alloc_lock = threading.Lock() if self.threads > 1 else None
+        self._pool: WorkerPool | None = None
         self._compile()
 
     # -- compilation ---------------------------------------------------------
@@ -328,6 +404,15 @@ class CompiledPlan:
                 }
             )
 
+        # Isomorphic-GEMM batching pre-pass: rewrite groups of independent
+        # same-shape matmul instructions into stacked batched instructions.
+        self.batched_gemm_groups = 0
+        self.batched_gemm_nodes = 0
+        if self.batch_gemms:
+            descs = self._batch_isomorphic_gemms(
+                descs, output_slots, root, arena_produced
+            )
+
         # Releasability: the group's storage may be recycled iff it came
         # from the arena and no member escapes as an output.
         members: dict[int, list[int]] = {}
@@ -381,6 +466,8 @@ class CompiledPlan:
                         static_views[s] = arena.acquire(
                             spec.shape, spec.dtype, spec.nbytes
                         )
+            elif desc["kind"] == "batched":
+                self._assign_batched_storage(desc, releasable, static_views)
             for s, r, rel in frees_at.get(idx, ()):
                 sim_refs[r] -= 1
                 if rel and sim_refs[r] == 0:
@@ -397,11 +484,27 @@ class CompiledPlan:
             for idx, fs in frees_at.items()
         }
 
+        # Wavefront schedule (threads > 1): dependency levels over the
+        # instruction stream, cost-gated. In program mode register clears
+        # move to segment/level boundaries — level order may execute a
+        # slot's stream-last consumer before another consumer in a deeper
+        # level, so inline clears keyed by stream position would be unsafe.
+        self.wavefront_region_count = 0
+        self.wavefront_level_count = 0
+        self.parallel_level_count = 0
+        self.parallel_instruction_count = 0
+        self.max_wavefront_width = 0
+        program_layout = None
+        if self.threads > 1 and descs:
+            program_layout = self._plan_program(descs, root, static_views)
+
+        inline_clears = clears_at if program_layout is None else {}
+
         # Second pass: bake closures.
         steps: list[Callable[[list], None]] = []
-        stats = {"out": 0, "generic": 0, "view": 0, "fused": 0}
+        stats = {"out": 0, "generic": 0, "view": 0, "fused": 0, "batched": 0}
         for idx, desc in enumerate(descs):
-            clear = clears_at.get(idx, ())
+            clear = inline_clears.get(idx, ())
             kind = desc["kind"]
             stats[kind] += 1
             if kind == "fused":
@@ -411,6 +514,12 @@ class CompiledPlan:
                         desc["out_slots"][0],
                         clear,
                         static_views.get(desc["out_slots"][0]),
+                    )
+                )
+            elif kind == "batched":
+                steps.append(
+                    self._make_batched_step(
+                        desc, clear, static_views.get(desc["out_slots"][0])
                     )
                 )
             elif kind == "out":
@@ -449,16 +558,12 @@ class CompiledPlan:
         # a straight-line sequence of step calls with no iterator
         # machinery. Error context is recovered by the step-by-step
         # fallback in :meth:`run`.
-        if steps:
-            env = {"S": steps}
-            defaults = ", ".join(f"_s{i}=S[{i}]" for i in range(len(steps)))
-            lines = "\n".join(f"    _s{i}(regs)" for i in range(len(steps)))
-            src = f"def body(regs, {defaults}):\n{lines}\n"
-            ns: dict = {}
-            exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
-            self._body = ns["body"]
-        else:
-            self._body = lambda regs: None
+        self._body = self._bake_body(list(range(len(steps))), ())
+        self._program = None
+        if program_layout is not None:
+            self._program = self._bake_program(
+                program_layout, descs, clears_at, static_views
+            )
 
         self.num_nodes = len(order)
         self.num_instructions = len(self._bindings) + len(steps)
@@ -475,6 +580,341 @@ class CompiledPlan:
                 base = base.base
             raws[id(base)] = base.nbytes
         self.static_storage_bytes = sum(raws.values())
+
+    # -- batched-GEMM pre-pass ----------------------------------------------
+
+    def _batch_isomorphic_gemms(
+        self,
+        descs: list[dict[str, Any]],
+        output_slots: set[int],
+        root: list[int],
+        arena_produced: list[bool],
+    ) -> list[dict[str, Any]]:
+        """Group independent isomorphic matmul instructions into stacks.
+
+        Eligible members are single-output ``out``-kind matmuls whose
+        result has exactly one consumer and does not escape as a graph
+        output. A group closes when the stream consumes any member's
+        output (so members are dataflow-independent: any dependency path
+        between two matmuls passes through a consumer of the earlier one,
+        which would sit between them in the topological stream) or when
+        the stream crosses a stage boundary (batching never spans an Echo
+        barrier). The merged instruction executes at the *last* member's
+        position — every member input is produced before it, every
+        consumer after — and each member slot receives a view of the
+        stacked result, so downstream instructions are untouched.
+        """
+        consumer_count: dict[int, int] = {}
+        for desc in descs:
+            for s in desc["in_slots"]:
+                consumer_count[s] = consumer_count.get(s, 0) + 1
+
+        def eligible(desc: dict[str, Any]):
+            if desc["kind"] != "out":
+                return None
+            node = desc["node"]
+            key = gemm_batch_key(node)
+            if key is None:
+                return None
+            out_slot = desc["out_slots"][0]
+            if out_slot in output_slots:
+                return None
+            if consumer_count.get(out_slot, 0) != 1:
+                return None
+            return (node.stage, *key)
+
+        groups: list[list[int]] = []
+        open_groups: dict[Any, list[int]] = {}
+        member_out: dict[Any, set[int]] = {}
+
+        def close(key: Any) -> None:
+            grp = open_groups.pop(key, None)
+            member_out.pop(key, None)
+            if grp and len(grp) >= 2:
+                groups.append(grp)
+
+        prev_stage = None
+        for idx, desc in enumerate(descs):
+            stage = desc["node"].stage
+            if stage is not prev_stage:
+                for key in list(open_groups):
+                    close(key)
+                prev_stage = stage
+            reads = set(desc["in_slots"])
+            for key in list(open_groups):
+                if reads & member_out[key]:
+                    close(key)
+            key = eligible(desc)
+            if key is not None:
+                open_groups.setdefault(key, []).append(idx)
+                member_out.setdefault(key, set()).add(desc["out_slots"][0])
+        for key in list(open_groups):
+            close(key)
+
+        if not groups:
+            return descs
+
+        drop: set[int] = set()
+        merged_at: dict[int, dict[str, Any]] = {}
+        for grp in groups:
+            nodes = [descs[i]["node"] for i in grp]
+            a_slots = tuple(descs[i]["in_slots"][0] for i in grp)
+            b_slots = tuple(descs[i]["in_slots"][1] for i in grp)
+            out_slots = tuple(descs[i]["out_slots"][0] for i in grp)
+            # A shared operand (one slot feeds every member — the fixed key
+            # matrix in attention scoring) skips stacking entirely:
+            # np.matmul broadcasts it across the group. At most one side
+            # stays 2-D so the stacked kernel always emits [G x M x N].
+            shared_a = len(set(a_slots)) == 1
+            shared_b = not shared_a and len(set(b_slots)) == 1
+            merged = {
+                "kind": "batched",
+                "node": nodes[0],
+                "nodes": nodes,
+                "a_slots": a_slots,
+                "b_slots": b_slots,
+                "shared_a": shared_a,
+                "shared_b": shared_b,
+                "ta": nodes[0].attrs["ta"],
+                "tb": nodes[0].attrs["tb"],
+                "in_slots": tuple(dict.fromkeys(a_slots + b_slots)),
+                "out_slots": out_slots,
+                "scratch_a": None,
+                "scratch_b": None,
+            }
+            merged_at[grp[-1]] = merged
+            drop.update(grp[:-1])
+            # Member slots form one alias group rooted at the first slot:
+            # they are views of one stacked buffer, released together.
+            group_root = out_slots[0]
+            remap = {s: group_root for s in out_slots}
+            for i, r in enumerate(root):
+                root[i] = remap.get(r, r)
+            arena_produced[group_root] = True
+            self.batched_gemm_groups += 1
+            self.batched_gemm_nodes += len(grp)
+
+        rewritten: list[dict[str, Any]] = []
+        for idx, desc in enumerate(descs):
+            if idx in drop:
+                continue
+            rewritten.append(merged_at.get(idx, desc))
+        return rewritten
+
+    def _assign_batched_storage(
+        self,
+        desc: dict[str, Any],
+        releasable: list[bool],
+        static_views: dict[int, np.ndarray],
+    ) -> None:
+        """Arena storage for one batched group: stacked output + scratch.
+
+        The stacked result buffer joins the normal static replay (rooted
+        at the group's first slot, released when every member view dies).
+        Input stacking scratch is acquired once and never released — it is
+        written and fully consumed inside the single batched instruction,
+        but keeping it permanently owned means no other instruction can
+        ever share its pages, which keeps the storage-hazard graph sparse.
+        """
+        node = desc["node"]
+        spec = node.out_specs[0]
+        group = len(desc["out_slots"])
+        group_root = desc["out_slots"][0]
+        stacked_nbytes = group * spec.nbytes
+        if releasable[group_root] and stacked_nbytes > 0:
+            static_views[group_root] = self.arena.acquire(
+                (group,) + spec.shape, spec.dtype, stacked_nbytes
+            )
+        a, b = node.inputs
+        if not desc["shared_a"]:
+            desc["scratch_a"] = self.arena.acquire(
+                (group,) + a.shape, a.dtype, group * a.nbytes
+            )
+        if not desc["shared_b"]:
+            desc["scratch_b"] = self.arena.acquire(
+                (group,) + b.shape, b.dtype, group * b.nbytes
+            )
+
+    # -- wavefront program ---------------------------------------------------
+
+    def _plan_program(
+        self,
+        descs: list[dict[str, Any]],
+        root: list[int],
+        static_views: dict[int, np.ndarray],
+    ) -> list[tuple[str, Any]]:
+        """Partition the stream into serial segments and parallel levels.
+
+        Returns a layout: ``("serial", [desc idx...])`` and
+        ``("parallel", [[desc idx chunk]...])`` items, in execution order.
+        """
+        device = self._device
+        if device is None:
+            from repro.gpumodel import DeviceModel
+
+            device = DeviceModel()
+            self._device = device
+
+        def base_of(slot: int) -> int | None:
+            view = static_views.get(root[slot])
+            if view is None:
+                return None
+            raw = view
+            while raw.base is not None:
+                raw = raw.base
+            return id(raw)
+
+        def raw_id(arr: np.ndarray) -> int:
+            raw = arr
+            while raw.base is not None:
+                raw = raw.base
+            return id(raw)
+
+        infos: list[InstrInfo] = []
+        for idx, desc in enumerate(descs):
+            kind = desc["kind"]
+            read_bases: set[int] = set()
+            write_bases: set[int] = set()
+            for s in desc["in_slots"]:
+                b = base_of(s)
+                if b is not None:
+                    read_bases.add(b)
+            if kind != "view":  # views touch no storage themselves
+                for s in desc["out_slots"]:
+                    b = base_of(s)
+                    if b is not None:
+                        write_bases.add(b)
+            for scratch_key in ("scratch_a", "scratch_b"):
+                scratch = desc.get(scratch_key)
+                if scratch is not None:
+                    write_bases.add(raw_id(scratch))
+            if kind == "fused":
+                cost_nodes = [member for _op, member, _p in desc["chain"]]
+            elif kind == "batched":
+                cost_nodes = desc["nodes"]
+            else:
+                cost_nodes = [desc["node"]]
+            cost = sum(device.node_cost(n).kernel_seconds for n in cost_nodes)
+            infos.append(
+                InstrInfo(
+                    index=idx,
+                    reads=tuple(desc["in_slots"]),
+                    writes=tuple(desc["out_slots"]),
+                    read_bases=tuple(sorted(read_bases)),
+                    write_bases=tuple(sorted(write_bases)),
+                    stage=desc["node"].stage,
+                    cost_seconds=cost,
+                )
+            )
+
+        schedule = analyze_wavefronts(infos, self.threads)
+        self.wavefront_region_count = schedule.region_count
+        self.wavefront_level_count = len(schedule.levels)
+        self.parallel_level_count = len(schedule.parallel_levels)
+        self.parallel_instruction_count = schedule.parallel_instruction_count
+        self.max_wavefront_width = schedule.max_width
+
+        layout: list[tuple[str, Any]] = []
+        serial_run: list[int] = []
+        for wf in schedule.levels:
+            if not wf.parallel:
+                serial_run.extend(wf.instructions)
+                continue
+            if serial_run:
+                layout.append(("serial", serial_run))
+                serial_run = []
+            chunks = partition_chunks(
+                wf.instructions,
+                [infos[i].cost_seconds for i in wf.instructions],
+                self.threads,
+            )
+            layout.append(("parallel", chunks))
+        if serial_run:
+            layout.append(("serial", serial_run))
+
+        if not any(kind == "parallel" for kind, _ in layout):
+            # Cost gate kept everything serial: fall back to the plain
+            # baked body (identical to threads=1 execution).
+            self.parallel_level_count = 0
+            return None
+        return layout
+
+    def _bake_program(
+        self,
+        layout: list[tuple[str, Any]],
+        descs: list[dict[str, Any]],
+        clears_at: dict[int, tuple[int, ...]],
+        static_views: dict[int, np.ndarray],
+    ) -> list[tuple[Any, ...]]:
+        """Bake the wavefront layout into executable program items.
+
+        Clears are re-homed from stream positions to program items: a slot
+        is dropped after the *last program item* that consumes it (levels
+        may execute a stream-later consumer before a stream-earlier one,
+        so the serial clear placement would be unsafe). Each item becomes
+        ``(runner, chunks_or_None, clear_slots)``.
+        """
+        item_of: dict[int, int] = {}
+        for item_idx, (_kind, members) in enumerate(layout):
+            idxs = (
+                [i for chunk in members for i in chunk]
+                if _kind == "parallel"
+                else members
+            )
+            for i in idxs:
+                item_of[i] = item_idx
+
+        clear_slots: set[int] = set()
+        for slots in clears_at.values():
+            clear_slots.update(slots)
+        last_item: dict[int, int] = {}
+        for idx, desc in enumerate(descs):
+            item = item_of[idx]
+            for s in desc["in_slots"]:
+                if s in clear_slots:
+                    last_item[s] = max(last_item.get(s, -1), item)
+            for s in desc["out_slots"]:
+                if s in clear_slots:
+                    last_item.setdefault(s, item)
+        item_clears: dict[int, list[int]] = {}
+        for s, item in last_item.items():
+            item_clears.setdefault(item, []).append(s)
+
+        program: list[tuple[Any, ...]] = []
+        for item_idx, (kind, members) in enumerate(layout):
+            clears = tuple(sorted(item_clears.get(item_idx, ())))
+            if kind == "serial":
+                program.append(
+                    ("serial", self._bake_body(members, clears), None)
+                )
+            else:
+                chunk_fns = [self._bake_body(chunk, ()) for chunk in members]
+                program.append(("parallel", chunk_fns, clears))
+        self._pool = shared_pool(self.threads - 1)
+        return program
+
+    def _bake_body(
+        self, step_indices: list[int], clears: tuple[int, ...]
+    ) -> Callable[[list], None]:
+        """One straight-line function calling the given steps in order.
+
+        Used for the full serial body, for serial program segments, and
+        for parallel chunks (no iterator machinery anywhere in the hot
+        loop). ``clears`` appends register drops after the last step.
+        """
+        if not step_indices and not clears:
+            return lambda regs: None
+        env = {"S": self._steps} if step_indices else {}
+        defaults = ", ".join(
+            f"_s{i}=S[{idx}]" for i, idx in enumerate(step_indices)
+        )
+        lines = [f"    _s{i}(regs)" for i in range(len(step_indices))]
+        lines.extend(f"    regs[{s}] = None" for s in clears)
+        head = f"def body(regs{', ' + defaults if defaults else ''}):\n"
+        src = head + "\n".join(lines) + "\n"
+        ns: dict = {}
+        exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
+        return ns["body"]
 
     @staticmethod
     def _fuse_chains(
@@ -630,6 +1070,91 @@ class CompiledPlan:
         step._node = node
         return step
 
+    def _make_batched_step(self, desc, clear, static):
+        """One stacked GEMM instruction covering a batched group.
+
+        Member inputs are copied into permanent scratch stacks (skipped
+        when the operand is shared by every member — the attention-scoring
+        case, where one key matrix serves all decoder steps), the stacked
+        kernel runs once, and each member's register receives its slice of
+        the stacked result.
+        """
+        node = desc["node"]
+        group = len(desc["out_slots"])
+        spec = node.out_specs[0]
+        env: dict = {
+            "node": node,
+            "mm": np.matmul,
+            "cp": np.copyto,
+            "ExecutionError": ExecutionError,
+        }
+        defaults = ["_mm=mm", "_cp=cp", "_EE=ExecutionError", "_t=node"]
+        lines: list[str] = []
+
+        # Operand A.
+        if desc["shared_a"]:
+            a_expr = f"regs[{desc['a_slots'][0]}]" + (".T" if desc["ta"] else "")
+        else:
+            scratch_a = desc["scratch_a"]
+            env["sav"] = tuple(scratch_a[i] for i in range(group))
+            env["A"] = stacked_operand(scratch_a, desc["ta"])
+            defaults.extend(["_sav=sav", "_A=A"])
+            lines.extend(
+                f"        _cp(_sav[{i}], regs[{s}])"
+                for i, s in enumerate(desc["a_slots"])
+            )
+            a_expr = "_A"
+        # Operand B.
+        if desc["shared_b"]:
+            b_expr = f"regs[{desc['b_slots'][0]}]" + (".T" if desc["tb"] else "")
+        else:
+            scratch_b = desc["scratch_b"]
+            env["sbv"] = tuple(scratch_b[i] for i in range(group))
+            env["B"] = stacked_operand(scratch_b, desc["tb"])
+            defaults.extend(["_sbv=sbv", "_B=B"])
+            lines.extend(
+                f"        _cp(_sbv[{i}], regs[{s}])"
+                for i, s in enumerate(desc["b_slots"])
+            )
+            b_expr = "_B"
+
+        clear_src = "".join(f"\n    regs[{s}] = None" for s in clear)
+        if static is not None:
+            env["ov"] = tuple(static[i] for i in range(group))
+            env["S"] = static
+            defaults.extend(["_ov=ov", "_S=S"])
+            lines.append(f"        _mm({a_expr}, {b_expr}, out=_S)")
+            assigns = "".join(
+                f"\n    regs[{s}] = _ov[{i}]"
+                for i, s in enumerate(desc["out_slots"])
+            )
+        else:
+            env["acquire_fresh"] = self.arena.acquire_fresh
+            env["dtype"] = spec.dtype
+            defaults.append("_a=acquire_fresh, _d=dtype")
+            shape = (group,) + spec.shape
+            lines.insert(
+                0, f"        buf = _a({shape!r}, _d, {group * spec.nbytes})"
+            )
+            lines.append(f"        _mm({a_expr}, {b_expr}, out=buf)")
+            assigns = "".join(
+                f"\n    regs[{s}] = buf[{i}]"
+                for i, s in enumerate(desc["out_slots"])
+            )
+        body = (
+            "    try:\n"
+            + "\n".join(lines) + "\n"
+            "    except Exception as exc:\n"
+            "        raise _EE(\n"
+            "            f'kernel failure in batched GEMM group at "
+            "{_t!r}: {exc}'\n"
+            "        ) from exc"
+            f"{assigns}{clear_src}"
+        )
+        step = self._bake(body, env, node, ", ".join(defaults))
+        step._batched = True
+        return step
+
     def _make_fused_step(self, chain, out_slot, clear, static):
         tail = chain[-1][1]
         spec = tail.out_specs[0]
@@ -710,10 +1235,15 @@ class CompiledPlan:
         compute = node.op.compute
         specs = list(node.out_specs)
         plan = self
+        lock = self._alloc_lock
 
         def step(regs):
             results = compute(node, [regs[s] for s in in_slots])
-            plan.generic_alloc_count += len(results)
+            if lock is None:
+                plan.generic_alloc_count += len(results)
+            else:
+                with lock:
+                    plan.generic_alloc_count += len(results)
             for j, (s, arr) in enumerate(zip(out_slots, results)):
                 expected = specs[j]
                 if tuple(arr.shape) != expected.shape:
@@ -754,7 +1284,17 @@ class CompiledPlan:
                 feeds if kind == "placeholder" else params, node, kind
             )
         try:
-            self._body(regs)
+            if self._program is None:
+                self._body(regs)
+            else:
+                pool = self._pool
+                for kind, payload, clears in self._program:
+                    if kind == "serial":
+                        payload(regs)
+                    else:
+                        pool.run_level(payload, regs)
+                        for s in clears:
+                            regs[s] = None
         except ExecutionError:
             raise
         except Exception as first:

@@ -30,6 +30,7 @@ from repro.ops.dropout import set_global_step
 from repro.runtime.compiled import Arena, CompiledPlan, ExecutionError
 from repro.runtime.memory import Category, MemoryPlan, TensorKey
 from repro.runtime.plancache import PlanCache, default_plan_cache
+from repro.runtime.workers import default_thread_count
 
 __all__ = [
     "ExecutionError",
@@ -101,6 +102,8 @@ class GraphExecutor:
         arena: Arena | None = None,
         plan_cache: PlanCache | None = None,
         fuse: bool = True,
+        threads: int | None = None,
+        batch_gemms: bool | None = None,
     ) -> None:
         self.outputs = list(outputs)
         self.device = device
@@ -108,12 +111,24 @@ class GraphExecutor:
         self.plan_cache = (
             plan_cache if plan_cache is not None else default_plan_cache()
         )
+        # None defers to the REPRO_THREADS environment default, so the CI
+        # matrix (and users) can flip the whole process to wavefront
+        # execution without touching call sites.
+        self.threads = default_thread_count() if threads is None else max(
+            1, int(threads)
+        )
         self.order = self.plan_cache.schedule_for(self.outputs)
         self.memory_plan: MemoryPlan = self.plan_cache.plan_for(
             self.outputs, pinned_categories, order=self.order
         )
         self.plan: CompiledPlan = self.plan_cache.compiled_for(
-            self.outputs, self.arena, fuse=fuse, order=self.order
+            self.outputs,
+            self.arena,
+            fuse=fuse,
+            order=self.order,
+            threads=self.threads,
+            batch_gemms=batch_gemms,
+            device=device,
         )
         self._free_after: dict[int, list[TensorKey]] = defaultdict(list)
         output_keys = {t.key for t in self.outputs}
@@ -276,6 +291,8 @@ class TrainingExecutor:
         device: Any | None = None,
         arena: Arena | None = None,
         plan_cache: PlanCache | None = None,
+        threads: int | None = None,
+        batch_gemms: bool | None = None,
     ) -> None:
         self.graph = graph
         pinned = {g.key: Category.GRADIENT for g in graph.grads.values()}
@@ -285,6 +302,8 @@ class TrainingExecutor:
             pinned_categories=pinned,
             arena=arena,
             plan_cache=plan_cache,
+            threads=threads,
+            batch_gemms=batch_gemms,
         )
 
     @property

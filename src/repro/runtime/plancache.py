@@ -114,21 +114,33 @@ class PlanCache:
         arena: Arena,
         fuse: bool = True,
         order: Sequence | None = None,
+        threads: int = 1,
+        batch_gemms: bool | None = None,
+        device: Any | None = None,
     ) -> CompiledPlan:
-        """Cached :class:`CompiledPlan` for (graph, arena, fuse).
+        """Cached :class:`CompiledPlan` for (graph, arena, thread config).
 
-        Keyed by ``id(arena)`` — safe because the cached plan holds a
-        reference to the arena, so the id cannot be recycled while the
-        entry lives.
+        Keyed by ``id(arena)``/``id(device)`` — safe because the cached
+        plan holds references to both, so the ids cannot be recycled while
+        the entry lives. Thread count and batching are part of the key: a
+        serial and a wavefront-parallel plan for the same graph are
+        different lowered programs and coexist in the cache.
         """
         sig = graph_signature(outputs)
+        key = (
+            "compiled", sig, id(arena), fuse, threads, batch_gemms,
+            id(device) if device is not None else None,
+        )
         return self.memo(
-            ("compiled", sig, id(arena), fuse),
+            key,
             lambda: CompiledPlan(
                 order if order is not None else schedule(outputs),
                 outputs,
                 arena=arena,
                 fuse=fuse,
+                threads=threads,
+                batch_gemms=batch_gemms,
+                device=device,
             ),
         )
 

@@ -1,0 +1,235 @@
+"""Wavefront analysis over a lowered instruction stream.
+
+The compiled plan executes one instruction at a time even though the
+training graph is wide: bidirectional encoder directions, the four LSTM
+gate branches, independent weight-gradient GEMMs. This module partitions
+the instruction stream into *wavefronts* — dependency levels whose
+instructions are mutually independent — and decides, with the
+:mod:`repro.gpumodel` cost model, which levels are worth executing on
+parallel worker threads and which must stay serial because thread handoff
+would swamp the kernels.
+
+Dependencies are computed at two granularities:
+
+* **values** (RAW): an instruction reading a slot depends on the
+  instruction that wrote it;
+* **storage** (WAR/WAW): the plan's static buffer assignment reuses raw
+  arena pages across slots, so an instruction overwriting a page must wait
+  for the readers of the page's previous tenant, and writers of one page
+  are totally ordered. Without these edges two "independent" instructions
+  could race on shared storage.
+
+Echo stage boundaries are hard barriers: levels never span a change of
+:class:`repro.graph.Stage` in the stream, so mirrored recompute regions
+replay exactly as the serial plan (and the memory/footprint accounting,
+which is node-based, is untouched). Checkpoint stash points sit on those
+boundaries by construction — a stash is the last forward-stage value a
+backward/recompute run consumes.
+
+Cost gating uses *simulated* device seconds as a relative measure: the
+host's numpy kernels scale with the same bytes/flops the device model
+prices, so a level whose simulated time is tiny (a handful of
+bandwidth-bound elementwise ops) is exactly the level whose host kernels
+are too small to amortize a thread handoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "InstrInfo",
+    "Wavefront",
+    "WavefrontSchedule",
+    "analyze_wavefronts",
+    "partition_chunks",
+    "MIN_CHUNK_SECONDS",
+    "MIN_LEVEL_SECONDS",
+]
+
+#: Minimum simulated seconds of kernel work one chunk must carry before a
+#: thread handoff (queue put + wake + barrier share, ~10-20us of host time)
+#: pays for itself. Simulated device seconds under-report host numpy time
+#: by roughly two orders of magnitude, so this admits chunks of ~100us+ of
+#: real kernel work.
+MIN_CHUNK_SECONDS = 1.5e-6
+
+#: Minimum simulated seconds for a level to be considered at all; below
+#: this even a perfect split cannot beat the barrier cost.
+MIN_LEVEL_SECONDS = 2 * MIN_CHUNK_SECONDS
+
+
+@dataclass
+class InstrInfo:
+    """Dependence-relevant facts about one lowered instruction."""
+
+    index: int
+    reads: tuple[int, ...]  # slots read
+    writes: tuple[int, ...]  # slots written
+    read_bases: tuple[int, ...]  # storage ids read (static buffers)
+    write_bases: tuple[int, ...]  # storage ids written (static + scratch)
+    stage: object  # repro.graph.Stage of the instruction's node(s)
+    cost_seconds: float  # simulated kernel seconds (cost-model)
+
+
+@dataclass
+class Wavefront:
+    """One dependency level inside a stage region."""
+
+    instructions: list[int]  # instruction indices, stream order
+    cost_seconds: float
+    parallel: bool  # cost gate verdict
+
+
+@dataclass
+class WavefrontSchedule:
+    """Level structure of one instruction stream."""
+
+    levels: list[Wavefront] = field(default_factory=list)
+    region_count: int = 0  # stage regions (barrier-separated)
+
+    @property
+    def parallel_levels(self) -> list[Wavefront]:
+        return [w for w in self.levels if w.parallel]
+
+    @property
+    def parallel_instruction_count(self) -> int:
+        return sum(len(w.instructions) for w in self.parallel_levels)
+
+    @property
+    def max_width(self) -> int:
+        return max((len(w.instructions) for w in self.levels), default=0)
+
+
+def _dependency_edges(infos: Sequence[InstrInfo]) -> list[list[int]]:
+    """Predecessor lists from value (RAW) and storage (WAR/WAW) hazards."""
+    preds: list[list[int]] = [[] for _ in infos]
+
+    writer_of_slot: dict[int, int] = {}
+    for info in infos:
+        for s in info.reads:
+            producer = writer_of_slot.get(s)
+            if producer is not None:
+                preds[info.index].append(producer)
+        for s in info.writes:
+            writer_of_slot[s] = info.index
+
+    # Storage hazards per raw base, stream order: readers must precede the
+    # next writer (WAR); writers are totally ordered (WAW). RAW through
+    # storage coincides with slot RAW and needs no extra edge.
+    last_writer: dict[int, int] = {}
+    readers_since: dict[int, list[int]] = {}
+    for info in infos:
+        for b in info.read_bases:
+            readers_since.setdefault(b, []).append(info.index)
+        for b in info.write_bases:
+            prev_writer = last_writer.get(b)
+            if prev_writer is not None and prev_writer != info.index:
+                preds[info.index].append(prev_writer)
+            for r in readers_since.get(b, ()):
+                if r != info.index:
+                    preds[info.index].append(r)
+            readers_since[b] = []
+            last_writer[b] = info.index
+    return preds
+
+
+def analyze_wavefronts(
+    infos: Sequence[InstrInfo],
+    threads: int,
+    min_chunk_seconds: float = MIN_CHUNK_SECONDS,
+    min_level_seconds: float = MIN_LEVEL_SECONDS,
+) -> WavefrontSchedule:
+    """Partition the stream into cost-gated dependency levels.
+
+    ``infos`` must be in stream (schedule) order with ``index`` equal to
+    the list position. Levels are computed independently inside each
+    maximal run of equal ``stage`` — stage transitions are barriers.
+    """
+    if any(info.index != i for i, info in enumerate(infos)):
+        raise ValueError("InstrInfo.index must match stream position")
+    schedule = WavefrontSchedule()
+    if not infos:
+        return schedule
+    preds = _dependency_edges(infos)
+
+    # Stage regions: maximal runs of equal stage.
+    regions: list[tuple[int, int]] = []
+    start = 0
+    for i in range(1, len(infos)):
+        if infos[i].stage is not infos[start].stage:
+            regions.append((start, i))
+            start = i
+    regions.append((start, len(infos)))
+    schedule.region_count = len(regions)
+
+    level_of: dict[int, int] = {}
+    for lo, hi in regions:
+        by_level: dict[int, list[int]] = {}
+        for i in range(lo, hi):
+            # Predecessors outside the region executed behind the barrier.
+            level = 0
+            for p in preds[i]:
+                if p >= lo:
+                    lp = level_of[p]
+                    if lp >= level:
+                        level = lp + 1
+            level_of[i] = level
+            by_level.setdefault(level, []).append(i)
+        for level in sorted(by_level):
+            members = by_level[level]
+            cost = sum(infos[i].cost_seconds for i in members)
+            parallel = (
+                threads > 1
+                and len(members) > 1
+                and cost >= min_level_seconds
+                and _splits_into_chunks(
+                    [infos[i].cost_seconds for i in members],
+                    threads,
+                    min_chunk_seconds,
+                )
+            )
+            schedule.levels.append(Wavefront(members, cost, parallel))
+    return schedule
+
+
+def _splits_into_chunks(
+    costs: list[float], threads: int, min_chunk_seconds: float
+) -> bool:
+    """Whether the level yields >= 2 chunks each worth a thread handoff."""
+    chunks = partition_chunks(list(range(len(costs))), costs, threads,
+                              min_chunk_seconds)
+    return len(chunks) >= 2
+
+
+def partition_chunks(
+    items: list[int],
+    costs: list[float],
+    threads: int,
+    min_chunk_seconds: float = MIN_CHUNK_SECONDS,
+) -> list[list[int]]:
+    """Split a level's items into at most ``threads`` cost-balanced chunks.
+
+    The chunk count is capped so every chunk carries at least
+    ``min_chunk_seconds`` of simulated work; items are dealt
+    largest-first onto the lightest chunk (LPT), then each chunk is
+    restored to stream order for cache-friendly execution. Deterministic:
+    ties broken by position.
+    """
+    total = sum(costs)
+    num_chunks = min(threads, len(items))
+    if min_chunk_seconds > 0:
+        num_chunks = min(num_chunks, max(1, int(total / min_chunk_seconds)))
+    if num_chunks <= 1:
+        return [list(items)]
+    order = sorted(range(len(items)), key=lambda i: (-costs[i], i))
+    loads = [0.0] * num_chunks
+    chunks: list[list[int]] = [[] for _ in range(num_chunks)]
+    for i in order:
+        lightest = min(range(num_chunks), key=lambda c: (loads[c], c))
+        chunks[lightest].append(items[i])
+        loads[lightest] += costs[i]
+    chunks = [sorted(c) for c in chunks if c]
+    chunks.sort(key=lambda c: c[0])
+    return chunks

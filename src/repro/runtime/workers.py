@@ -1,0 +1,143 @@
+"""Persistent worker pool executing compiled-plan chunks in parallel.
+
+The compiled executor's kernels are numpy/BLAS calls that release the GIL,
+so dataflow-independent instruction chunks genuinely overlap on multicore
+hosts — the host-side analogue of a GPU executing independent kernels on
+parallel streams. Workers are long-lived daemon threads fed through one
+C-implemented :class:`queue.SimpleQueue`; a dispatch is one queue put plus
+one lock-protected counter decrement, keeping the handoff cost far below
+the kernel times the wavefront cost gate admits (see
+:mod:`repro.runtime.wavefront`).
+
+The calling thread always executes the first chunk itself, so a pool built
+for ``threads`` execution lanes owns ``threads - 1`` workers and a
+one-chunk level degenerates to a plain call with no synchronization at
+all. Pools are shared process-wide by lane count (executors share worker
+threads the way they share arenas), and chunk exceptions propagate to the
+caller after the level barrier — the plan's serial replay fallback then
+attributes the failure to a node.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Callable, Sequence
+
+__all__ = ["WorkerPool", "shared_pool", "default_thread_count"]
+
+
+def default_thread_count() -> int:
+    """Execution-lane default: the ``REPRO_THREADS`` env var, else 1.
+
+    Parallel execution is opt-in (serial plans are the PR-1 baseline and
+    bitwise-identical by construction), so the default stays 1 unless the
+    environment — e.g. the CI matrix leg — asks for more.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_THREADS", "1")))
+    except ValueError:
+        return 1
+
+
+class _LevelBarrier:
+    """Completion tracking for one dispatched wavefront level."""
+
+    __slots__ = ("lock", "remaining", "done", "error")
+
+    def __init__(self, remaining: int) -> None:
+        self.lock = threading.Lock()
+        self.remaining = remaining
+        self.done = threading.Event()
+        self.error: BaseException | None = None
+
+
+class WorkerPool:
+    """Fixed set of daemon threads running ``chunk(regs)`` callables."""
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker, got {num_workers}")
+        self.num_workers = num_workers
+        self._tasks: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-wavefront-{i}",
+                daemon=True,
+            )
+            for i in range(num_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                return
+            chunk, regs, barrier = task
+            try:
+                chunk(regs)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                with barrier.lock:
+                    if barrier.error is None:
+                        barrier.error = exc
+            finally:
+                with barrier.lock:
+                    barrier.remaining -= 1
+                    if barrier.remaining == 0:
+                        barrier.done.set()
+
+    def run_level(
+        self, chunks: Sequence[Callable[[list], None]], regs: list
+    ) -> None:
+        """Execute one wavefront level: all chunks, then barrier.
+
+        The caller runs ``chunks[0]`` inline while workers drain the rest,
+        so every execution lane (including this thread) does kernel work.
+        Raises the first chunk exception after all chunks finish — chunks
+        write disjoint slots, so a failed level leaves no torn state a
+        serial replay could not reproduce.
+        """
+        if len(chunks) == 1:
+            chunks[0](regs)
+            return
+        barrier = _LevelBarrier(remaining=len(chunks) - 1)
+        for chunk in chunks[1:]:
+            self._tasks.put((chunk, regs, barrier))
+        try:
+            chunks[0](regs)
+        except BaseException as exc:  # noqa: BLE001 - re-raised after barrier
+            barrier.done.wait()
+            raise exc
+        barrier.done.wait()
+        if barrier.error is not None:
+            raise barrier.error
+
+    def close(self) -> None:
+        """Stop the workers (used by tests; shared pools live forever)."""
+        for _ in self._threads:
+            self._tasks.put(None)
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+
+_SHARED_POOLS: dict[int, WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_pool(num_workers: int) -> WorkerPool:
+    """The process-wide pool with ``num_workers`` workers (created once).
+
+    Compiled plans with the same thread config share workers just as they
+    share the default plan cache; daemon threads idle on the task queue
+    between iterations.
+    """
+    with _SHARED_LOCK:
+        pool = _SHARED_POOLS.get(num_workers)
+        if pool is None:
+            pool = WorkerPool(num_workers)
+            _SHARED_POOLS[num_workers] = pool
+        return pool

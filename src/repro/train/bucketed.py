@@ -39,6 +39,8 @@ class BucketedTrainer:
         echo: bool = False,
         echo_config: EchoConfig | None = None,
         device: DeviceModel | None = None,
+        threads: int | None = None,
+        batch_gemms: bool | None = None,
     ) -> None:
         if not buckets:
             raise ValueError("need at least one bucket")
@@ -64,6 +66,9 @@ class BucketedTrainer:
                 ).run(model.graph)
             if self.params is None:
                 self.params = store.initialize()
+            # Buckets share the arena AND the thread config: the plan cache
+            # keys compiled plans by both, so every bucket's wavefront plan
+            # overlays the same storage and the same worker pool.
             self._trainers[bucket] = Trainer(
                 model.graph,
                 self.params,
@@ -72,6 +77,8 @@ class BucketedTrainer:
                 batch_size=cfg.batch_size,
                 arena=self.arena,
                 plan_cache=self.plan_cache,
+                threads=threads,
+                batch_gemms=batch_gemms,
             )
         self.store = store
         self.history: list[TrainRecord] = []

@@ -68,13 +68,20 @@ class Trainer:
         batch_size: int | None = None,
         arena: Arena | None = None,
         plan_cache: PlanCache | None = None,
+        threads: int | None = None,
+        batch_gemms: bool | None = None,
     ) -> None:
         self.graph = graph
         self.params = params
         self.optimizer = optimizer
         self.device = device or DeviceModel()
         self.executor = TrainingExecutor(
-            graph, device=self.device, arena=arena, plan_cache=plan_cache
+            graph,
+            device=self.device,
+            arena=arena,
+            plan_cache=plan_cache,
+            threads=threads,
+            batch_gemms=batch_gemms,
         )
         self.batch_size = batch_size or _infer_batch(graph)
         num_params = sum(int(p.size) for p in params.values())
