@@ -1,0 +1,240 @@
+"""Serving throughput/latency benchmark: the end-to-end subsystem demo.
+
+Drives 240 mixed-length translate/score requests from concurrent client
+threads through the micro-batching server and checks the three claims the
+subsystem makes:
+
+(a) **determinism** — every served output bitwise-matches sequential
+    single-request decode through the same compiled plans (micro-batching
+    coalesces work; it never changes an answer);
+(b) **coalescing** — mean batch occupancy > 1: the dynamic batcher really
+    does merge concurrent requests into shared plan executions;
+(c) **bounded first-request latency** — after ``warmup()`` the serving
+    phase compiles nothing: plan-cache hit rate is 100%, so p99 latency
+    excludes compilation by construction.
+
+Also measured: requests/s against the occupancy-1 sequential baseline
+(each request padded into its own batch — what serving without a batcher
+would do). Since a compiled batch costs the same at occupancy 1 as at
+occupancy k, batched throughput tracks mean occupancy.
+
+Results print as a table, persist to ``benchmarks/results/serve.txt``
+and, machine-readable for cross-PR tracking, ``BENCH_serve.json`` at the
+repo root.
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+from repro.data import BucketSpec, TranslationTask
+from repro.experiments import format_table
+from repro.models import NmtConfig, build_nmt
+from repro.nn import Backend
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    InferenceSession,
+    Request,
+    RequestKind,
+)
+from repro.train import Adam, Trainer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+N_REQUESTS = 240
+N_CLIENTS = 8
+MAX_BATCH = 8
+
+CONFIG = NmtConfig(
+    src_vocab_size=80, tgt_vocab_size=80, embed_size=24, hidden_size=24,
+    encoder_layers=1, decoder_layers=1, src_len=16, tgt_len=16,
+    batch_size=8, backend=Backend.CUDNN,
+)
+BUCKETS = (BucketSpec(4, 6), BucketSpec(8, 10), BucketSpec(12, 14),
+           BucketSpec(16, 16))
+
+
+def _trained_session():
+    model = build_nmt(CONFIG)
+    params = model.store.initialize()
+    task = TranslationTask(80, 80, 16, 16)
+    trainer = Trainer(model.graph, params, Adam(5e-3))
+    rng = np.random.default_rng(0)
+    for _ in range(30):  # enough for non-degenerate argmax preferences
+        trainer.step(task.sample_batch(CONFIG.batch_size, rng))
+    return InferenceSession(
+        CONFIG, model.store, params, BUCKETS, max_batch_size=MAX_BATCH,
+    )
+
+
+def _request_mix(n):
+    rng = np.random.default_rng(42)
+    requests = []
+    for i in range(n):
+        length = int(rng.integers(2, 17))
+        tokens = [int(t) for t in rng.integers(3, 80, size=length)]
+        if i % 4 == 3:  # 25% scoring traffic
+            targets = [int(t) for t in rng.integers(3, 80, size=length)]
+            requests.append((RequestKind.SCORE, tokens, targets))
+        else:
+            requests.append((RequestKind.TRANSLATE, tokens, None))
+    return requests
+
+
+def test_serve_throughput_and_latency(save_result):
+    session = _trained_session()
+    requests = _request_mix(N_REQUESTS)
+
+    # -- sequential baseline: occupancy-1 decode through the same plans --
+    warmup_report = session.warmup()
+    as_requests = [
+        Request(kind=kind, tokens=tokens, targets=targets,
+                bucket=session.bucket_for_length(len(tokens)))
+        for kind, tokens, targets in requests
+    ]
+    seq_start = time.perf_counter()
+    expected = session.run_sequential(as_requests)
+    seq_seconds = time.perf_counter() - seq_start
+
+    # -- concurrent serving through the micro-batching server ------------
+    server = InferenceServer(
+        session,
+        BatchPolicy(max_batch_size=MAX_BATCH, max_wait_ms=4.0,
+                    max_queue_depth=N_REQUESTS),
+    )
+    futures = [None] * len(requests)
+
+    def client(indices):
+        for i in indices:
+            kind, tokens, targets = requests[i]
+            futures[i] = server.submit(
+                tokens, kind=kind, targets=targets, timeout=60.0
+            )
+
+    threads = [
+        threading.Thread(
+            target=client, args=(range(s, len(requests), N_CLIENTS),)
+        )
+        for s in range(N_CLIENTS)
+    ]
+    serve_start = time.perf_counter()
+    with server:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        served = [f.result(timeout=120.0) for f in futures]
+    serve_seconds = time.perf_counter() - serve_start
+
+    snap = server.snapshot()
+    occupancy = snap["mean_batch_occupancy"]
+    throughput = len(requests) / serve_seconds
+    seq_throughput = len(requests) / seq_seconds
+    speedup = seq_seconds / serve_seconds
+
+    # -- the three subsystem claims --------------------------------------
+    mismatches = sum(1 for a, b in zip(served, expected) if a != b)
+    assert mismatches == 0, (
+        f"{mismatches}/{len(requests)} served results diverge from "
+        "sequential decode"
+    )
+    assert occupancy > 1.0, (
+        f"micro-batching did not coalesce (occupancy {occupancy:.2f})"
+    )
+    assert snap["plan_cache_misses_post_warmup"] == 0, (
+        "serving compiled plans after warmup — p99 includes compilation"
+    )
+    assert snap["plan_cache_hit_rate"] == 1.0
+    assert snap["shed"] == 0 and snap["failed"] == 0
+    assert snap["completed"] == len(requests)
+    if occupancy >= 2.0:
+        # Batch cost is occupancy-independent, so coalescing k requests
+        # per plan execution must beat occupancy-1 serving clearly.
+        assert speedup > 1.2, (
+            f"occupancy {occupancy:.1f} but speedup only {speedup:.2f}x"
+        )
+
+    rows = [
+        ("requests (translate/score mix)", str(len(requests))),
+        ("client threads", str(N_CLIENTS)),
+        ("buckets", str(len(BUCKETS))),
+        ("max batch / max wait", f"{MAX_BATCH} / 4.0 ms"),
+        ("warmup plans compiled", str(warmup_report["plans_compiled"])),
+        ("mean batch occupancy", f"{occupancy:.2f}"),
+        ("batches dispatched", str(snap["batches"])),
+        ("throughput (req/s)", f"{throughput:.1f}"),
+        ("sequential baseline (req/s)", f"{seq_throughput:.1f}"),
+        ("speedup vs occupancy-1", f"{speedup:.2f}x"),
+        ("latency p50 / p95 / p99 (ms)",
+         f"{snap['latency_ms_p50']:.1f} / {snap['latency_ms_p95']:.1f} / "
+         f"{snap['latency_ms_p99']:.1f}"),
+        ("queue depth peak", str(snap["queue_depth_peak"])),
+        ("plan-cache hit rate post-warmup",
+         f"{100 * snap['plan_cache_hit_rate']:.0f}%"),
+        ("bitwise match vs sequential", "yes"),
+    ]
+    text = format_table(
+        ["metric", "value"], rows,
+        "serving throughput (dynamic bucketed micro-batching)",
+    )
+    save_result("serve_throughput", text)
+
+    record = {
+        "n_requests": len(requests),
+        "n_clients": N_CLIENTS,
+        "max_batch_size": MAX_BATCH,
+        "max_wait_ms": 4.0,
+        "mean_batch_occupancy": occupancy,
+        "batches": snap["batches"],
+        "throughput_rps": throughput,
+        "sequential_rps": seq_throughput,
+        "speedup_vs_sequential": speedup,
+        "latency_ms_p50": snap["latency_ms_p50"],
+        "latency_ms_p95": snap["latency_ms_p95"],
+        "latency_ms_p99": snap["latency_ms_p99"],
+        "queue_depth_peak": snap["queue_depth_peak"],
+        "shed": snap["shed"],
+        "plan_cache_hit_rate_post_warmup": snap["plan_cache_hit_rate"],
+        "plan_cache_misses_post_warmup":
+            snap["plan_cache_misses_post_warmup"],
+        "bitwise_match_sequential": mismatches == 0,
+    }
+    (REPO_ROOT / "BENCH_serve.json").write_text(
+        json.dumps({"serve_throughput": record}, indent=2) + "\n"
+    )
+
+
+def test_serve_smoke_tiny(save_result):
+    """CI smoke: the smallest end-to-end pass (seconds, not minutes)."""
+    cfg = NmtConfig(
+        src_vocab_size=30, tgt_vocab_size=30, embed_size=8, hidden_size=8,
+        encoder_layers=1, decoder_layers=1, src_len=6, tgt_len=6,
+        batch_size=2, backend=Backend.CUDNN,
+    )
+    model = build_nmt(cfg)
+    params = model.store.initialize()
+    session = InferenceSession(
+        cfg, model.store, params, (BucketSpec(6, 6),), max_batch_size=2,
+    )
+    with InferenceServer(
+        session, BatchPolicy(max_batch_size=2, max_wait_ms=10.0)
+    ) as server:
+        futures = [server.submit([3, 4, 5], timeout=10.0) for _ in range(6)]
+        results = [f.result(timeout=60.0) for f in futures]
+    assert len(set(map(tuple, results))) == 1  # identical inputs, one answer
+    snap = server.snapshot()
+    assert snap["completed"] == 6
+    assert snap["plan_cache_misses_post_warmup"] == 0
+    save_result(
+        "serve_smoke",
+        format_table(
+            ["metric", "value"],
+            [("completed", "6"),
+             ("occupancy", f"{snap['mean_batch_occupancy']:.2f}")],
+            "serving smoke",
+        ),
+    )

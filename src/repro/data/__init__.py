@@ -5,6 +5,7 @@ from repro.data.bucketing import (
     BucketSpec,
     bucket_for,
     default_buckets,
+    pad_to_bucket,
 )
 from repro.data.speech import SpeechTask, exact_match_rate
 from repro.data.corpora import IWSLT15_EN_VI, PTB, WIKITEXT2, CorpusSpec, TranslationSpec
@@ -23,7 +24,8 @@ __all__ = [
     "PAD", "BOS", "EOS",
     "markov_corpus", "markov_transitions", "lm_batches",
     "TranslationTask", "batches",
-    "BucketSpec", "default_buckets", "bucket_for", "BucketedTranslationBatches",
+    "BucketSpec", "default_buckets", "bucket_for", "pad_to_bucket",
+    "BucketedTranslationBatches",
     "SpeechTask", "exact_match_rate",
     "CorpusSpec", "TranslationSpec", "PTB", "WIKITEXT2", "IWSLT15_EN_VI",
 ]

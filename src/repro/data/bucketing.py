@@ -11,7 +11,7 @@ per-bucket graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -47,6 +47,38 @@ def bucket_for(length: int, buckets: tuple[BucketSpec, ...]) -> BucketSpec:
         f"sentence length {length} exceeds the largest bucket "
         f"({buckets[-1].src_len})"
     )
+
+
+def pad_to_bucket(
+    rows: Sequence[Sequence[int]],
+    bucket: BucketSpec,
+    batch_size: int,
+    pad_token: int = 0,
+) -> np.ndarray:
+    """Pack token rows into one [T_src x B] int64 feed for ``bucket``.
+
+    Each row is right-padded with ``pad_token`` to the bucket's source
+    length; rows beyond ``len(rows)`` (the under-occupancy filler the
+    serving micro-batcher needs when fewer requests than ``batch_size``
+    coalesce) repeat row 0. Repeating a real row — rather than feeding
+    all-pad rows — makes filler rows finish decoding exactly when their
+    source row does, so partially full batches never decode longer than
+    their real requests require. Filler content cannot change any real
+    row's output: every inference kernel is row-independent.
+    """
+    if not rows:
+        raise ValueError("cannot pad an empty batch")
+    if len(rows) > batch_size:
+        raise ValueError(f"{len(rows)} rows exceed batch size {batch_size}")
+    out = np.full((bucket.src_len, batch_size), pad_token, np.int64)
+    for b in range(batch_size):
+        row = rows[b] if b < len(rows) else rows[0]
+        if len(row) > bucket.src_len:
+            raise ValueError(
+                f"row of length {len(row)} does not fit bucket {bucket}"
+            )
+        out[: len(row), b] = np.asarray(list(row), np.int64)
+    return out
 
 
 class BucketedTranslationBatches:

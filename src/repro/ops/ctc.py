@@ -18,14 +18,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.graph import Node, Op, ShapeError, Tensor, TensorSpec, register
+from repro.ops.softmax import log_softmax_array
 
 BLANK = 0
 _NEG_INF = -1e30
-
-
-def _log_softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
 
 
 def _expand_labels(labels: np.ndarray) -> np.ndarray:
@@ -183,7 +179,7 @@ class CtcLossGradOp(Op):
 def _ctc_batch(logits: np.ndarray, labels: np.ndarray
                ) -> tuple[float, np.ndarray]:
     t_len, batch, _vocab = logits.shape
-    log_probs = _log_softmax(logits.astype(np.float64))
+    log_probs = log_softmax_array(logits.astype(np.float64))
     total = 0.0
     grad = np.zeros_like(log_probs)
     for b in range(batch):

@@ -17,6 +17,13 @@ def softmax_array(x: np.ndarray, axis: int) -> np.ndarray:
     return e / np.sum(e, axis=axis, keepdims=True)
 
 
+def log_softmax_array(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax (shared by beam search, sequence
+    scoring, and the serving layer — one implementation, one place)."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
 class SoftmaxOp(Op):
     name = "softmax"
     recompute_cheap = True

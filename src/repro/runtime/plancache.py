@@ -16,6 +16,7 @@ plan for it is — correctly — reused.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
@@ -53,11 +54,20 @@ class PlanCache:
     One instance can be shared by many executors (the ``BucketedTrainer``
     shares one across buckets, like executors sharing a device memory
     pool). ``hits``/``misses`` count builder invocations saved/paid.
+
+    The cache is thread-safe: lookup, insertion, and LRU eviction run
+    under one reentrant lock, so the wavefront worker pool and the
+    serving layer's concurrent sessions can share an instance. The lock
+    is held *across the builder call* — concurrent requests for the same
+    key build exactly once — and is reentrant because builders legally
+    nest (compiling a serving decoder memoizes its schedule, memory
+    plan, and compiled plan through the same cache).
     """
 
     def __init__(self, capacity: int = 64) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -65,18 +75,19 @@ class PlanCache:
 
     def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on first use."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            value = builder()
-            self._entries[key] = value
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                value = builder()
+                self._entries[key] = value
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                return value
+            self.hits += 1
+            self._entries.move_to_end(key)
             return value
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
 
     # -- planning artifacts --------------------------------------------------
 
@@ -144,8 +155,22 @@ class PlanCache:
             ),
         )
 
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def counters(self) -> tuple[int, int]:
+        """Consistent ``(hits, misses)`` snapshot (for serving metrics)."""
+        with self._lock:
+            return self.hits, self.misses
+
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class NullPlanCache(PlanCache):
@@ -156,8 +181,9 @@ class NullPlanCache(PlanCache):
     """
 
     def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
-        self.misses += 1
-        return builder()
+        with self._lock:
+            self.misses += 1
+            return builder()
 
 
 _DEFAULT_CACHE = PlanCache()

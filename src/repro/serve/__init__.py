@@ -1,0 +1,55 @@
+"""Inference serving: dynamic bucketed micro-batching over compiled plans.
+
+The serving subsystem turns a trained model into a request-serving
+engine (ROADMAP north star: "serving heavy traffic"). Pieces:
+
+* :mod:`repro.serve.request` — request/response types, deadlines, errors;
+* :mod:`repro.serve.batcher` — bounded :class:`RequestQueue` with
+  backpressure + :class:`MicroBatcher` coalescing same-(kind, bucket)
+  requests under a max-batch / max-wait policy;
+* :mod:`repro.serve.session` — :class:`InferenceSession`: per-bucket
+  forward-only compiled plans (shared arena, thread-safe plan cache)
+  with an explicit warmup API;
+* :mod:`repro.serve.server` — :class:`InferenceServer`: admission
+  control, deadline shedding, one dispatcher thread, drain/shutdown;
+* :mod:`repro.serve.stats` — :class:`ServerStats`: p50/p95/p99 latency,
+  queue depth, batch occupancy, shed counts, plan-cache hit rate.
+
+See DESIGN.md §7 for the policy discussion and the determinism argument
+(micro-batched outputs are bitwise-identical to sequential decode).
+"""
+
+from repro.serve.batcher import (
+    BatchPolicy,
+    MicroBatcher,
+    PlannedBatch,
+    RequestQueue,
+)
+from repro.serve.request import (
+    DeadlineExceeded,
+    QueueFullError,
+    Request,
+    RequestKind,
+    ServeError,
+    ServerClosed,
+)
+from repro.serve.server import InferenceServer
+from repro.serve.session import InferenceSession
+from repro.serve.stats import ServerStats, percentile
+
+__all__ = [
+    "BatchPolicy",
+    "RequestQueue",
+    "MicroBatcher",
+    "PlannedBatch",
+    "Request",
+    "RequestKind",
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceeded",
+    "ServerClosed",
+    "InferenceSession",
+    "InferenceServer",
+    "ServerStats",
+    "percentile",
+]

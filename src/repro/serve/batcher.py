@@ -1,0 +1,193 @@
+"""Bounded request queue and dynamic micro-batching policy.
+
+The queue is a bounded FIFO with condition-variable signalling; admission
+past capacity is *backpressure* — the submitter either waits (bounded by
+``timeout``) or gets :class:`QueueFullError`. The batcher implements the
+classic dynamic-batching policy (Clipper/Triton style): the oldest
+pending request defines the batch group — its ``(kind, bucket)`` pair,
+i.e. one compiled plan shape — and the batch closes when either
+``max_batch_size`` same-group requests have coalesced or the head request
+has waited ``max_wait_ms``. Requests whose deadline lapsed while queued
+are shed at dispatch time, before any compute is spent on them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.serve.request import QueueFullError, Request, ServerClosed
+
+__all__ = ["BatchPolicy", "RequestQueue", "MicroBatcher", "PlannedBatch"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs of the coalescing policy.
+
+    ``max_batch_size`` must not exceed the session's compiled batch
+    shape; ``max_wait_ms`` trades first-token latency for occupancy;
+    ``max_queue_depth`` bounds memory and is the backpressure threshold.
+    """
+
+    max_batch_size: int = 8
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+
+
+class RequestQueue:
+    """Bounded FIFO of admitted requests, safe for many producers."""
+
+    def __init__(self, max_depth: int) -> None:
+        self.max_depth = max_depth
+        self._items: deque[Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, request: Request, timeout: float | None = 0.0) -> int:
+        """Admit ``request``; returns the queue depth after admission.
+
+        ``timeout`` bounds how long to wait for space: ``0`` refuses
+        immediately when full (pure backpressure), ``None`` waits
+        forever.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while True:
+                if self._closed:
+                    raise ServerClosed("queue is closed")
+                if len(self._items) < self.max_depth:
+                    break
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise QueueFullError(
+                        f"queue at capacity ({self.max_depth})"
+                    )
+                self._not_full.wait(remaining)
+            request.enqueued_s = time.monotonic()
+            self._items.append(request)
+            depth = len(self._items)
+            self._not_empty.notify()
+            return depth
+
+    def close(self) -> None:
+        """Stop admissions and wake any waiter (drain continues)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain_pending(self) -> list[Request]:
+        """Remove and return everything still queued (shutdown path)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return items
+
+@dataclass
+class PlannedBatch:
+    """One dispatch decision: run ``requests``, fail ``shed``."""
+
+    requests: list[Request]
+    shed: list[Request]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Coalesces queued requests into per-(kind, bucket) micro-batches."""
+
+    def __init__(self, queue: RequestQueue, policy: BatchPolicy) -> None:
+        self.queue = queue
+        self.policy = policy
+
+    def next_batch(self, on_take=None) -> PlannedBatch | None:
+        """Block for the next dispatchable batch; None = queue closed dry.
+
+        ``on_take(planned)`` runs under the queue lock in the same
+        critical section that removes the batch, so in-flight accounting
+        (the server's drain barrier) can never observe removed-but-
+        uncounted requests.
+
+        The head-of-line request pins the batch group. While the group is
+        under ``max_batch_size`` and the head has waited less than
+        ``max_wait_ms``, the batcher sleeps on the condition variable so
+        late arrivals can coalesce; requests already past their deadline
+        are shed (returned separately, never run). Collection preserves
+        FIFO order within the group; other groups keep their queue
+        positions for the next cycle.
+        """
+        max_size = self.policy.max_batch_size
+        max_wait = self.policy.max_wait_ms / 1000.0
+        shed: list[Request] = []
+        with self.queue._not_empty:
+            while True:
+                # Shed from the front so an expired head never pins the
+                # group choice (or the wait window) for live requests.
+                now = time.monotonic()
+                while self.queue._items and self.queue._items[0].expired(now):
+                    shed.append(self.queue._items.popleft())
+                if not self.queue._items:
+                    if self.queue._closed or shed:
+                        # Deliver shed verdicts (or exit on a dry close).
+                        planned = PlannedBatch(requests=[], shed=shed)
+                        if shed and on_take is not None:
+                            on_take(planned)
+                        return planned if shed else None
+                    self.queue._not_empty.wait()
+                    continue
+
+                head = self.queue._items[0]
+                key = head.batch_key
+                group = [
+                    r for r in self.queue._items
+                    if r.batch_key == key and not r.expired(now)
+                ]
+                close_at = head.enqueued_s + max_wait
+                if len(group) >= max_size or now >= close_at \
+                        or self.queue._closed:
+                    chosen = group[:max_size]
+                    chosen_ids = {id(r) for r in chosen}
+                    expired = [
+                        r for r in self.queue._items
+                        if r.expired(now) and id(r) not in chosen_ids
+                    ]
+                    shed.extend(expired)
+                    drop = chosen_ids | {id(r) for r in expired}
+                    remaining = deque(
+                        r for r in self.queue._items if id(r) not in drop
+                    )
+                    self.queue._items.clear()
+                    self.queue._items.extend(remaining)
+                    self.queue._not_full.notify_all()
+                    planned = PlannedBatch(requests=chosen, shed=shed)
+                    if on_take is not None:
+                        on_take(planned)
+                    return planned
+                self.queue._not_empty.wait(close_at - now)

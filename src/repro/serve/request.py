@@ -1,0 +1,95 @@
+"""Request/response types and errors for the inference server.
+
+A :class:`Request` is one client call — translate a source sentence or
+score a (source, target) pair — annotated with everything the admission
+and batching layers need: its length bucket, arrival time, and optional
+deadline. Results travel back through a ``concurrent.futures.Future``,
+so submitters can block, poll, or attach callbacks without the server
+caring which.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from repro.data.bucketing import BucketSpec
+
+__all__ = [
+    "RequestKind",
+    "Request",
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExceeded",
+    "ServerClosed",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for serving-layer failures delivered through futures."""
+
+
+class QueueFullError(ServeError):
+    """Admission refused: the bounded request queue is at capacity."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before a batch could run it."""
+
+
+class ServerClosed(ServeError):
+    """The server is shut down (or shutting down) and not accepting work."""
+
+
+class RequestKind(Enum):
+    TRANSLATE = "translate"
+    SCORE = "score"
+
+
+_ids = itertools.count()
+
+
+@dataclass
+class Request:
+    """One admitted inference request.
+
+    ``tokens`` is the source sentence; ``targets`` is required for SCORE
+    requests (the token sequence to be teacher-force scored). ``max_len``
+    caps TRANSLATE output length (defaults to the bucket's target
+    length). ``deadline_s`` is an absolute ``time.monotonic()`` instant
+    after which the request is shed instead of run.
+    """
+
+    kind: RequestKind
+    tokens: Sequence[int]
+    targets: Sequence[int] | None = None
+    max_len: int | None = None
+    deadline_s: float | None = None
+    request_id: int = field(default_factory=lambda: next(_ids))
+    bucket: BucketSpec | None = None  # assigned at admission
+    enqueued_s: float = 0.0  # assigned at admission
+    future: Future = field(default_factory=Future)
+
+    def __post_init__(self) -> None:
+        if self.kind is RequestKind.SCORE and self.targets is None:
+            raise ValueError("SCORE requests need a target token sequence")
+        if not len(self.tokens):
+            raise ValueError("empty source sentence")
+
+    @property
+    def batch_key(self) -> tuple:
+        """Requests coalesce only within one (kind, bucket) group: one
+        compiled plan shape, one decode loop."""
+        return (self.kind, self.bucket)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_s is None:
+            return False
+        return (time.monotonic() if now is None else now) > self.deadline_s
+
+    def latency_s(self, now: float | None = None) -> float:
+        return (time.monotonic() if now is None else now) - self.enqueued_s

@@ -1,0 +1,240 @@
+"""The inference server: admission control, dispatch loop, lifecycle.
+
+Architecture (one box per module):
+
+    clients (N threads) --submit()--> RequestQueue (bounded, backpressure)
+                                          |
+                                     MicroBatcher (coalesce by kind+bucket,
+                                          |         max-batch / max-wait)
+                                   dispatcher thread (one; owns the arena)
+                                          |
+                                   InferenceSession.run_batch
+                                          |
+                                   futures resolve --> clients
+
+Concurrency model: *admission is concurrent, execution is serial.* Any
+number of client threads submit; one dispatcher thread runs compiled
+plans (they share an arena, like a single GPU's memory pool, so batches
+must not overlap). Because micro-batches are row-independent, serialized
+batched execution still gives every client the exact output of a private
+sequential decode — coalescing buys throughput, not approximation.
+
+Lifecycle: ``start`` spawns the dispatcher; ``drain`` stops admissions
+and waits for in-flight work; ``shutdown(drain=False)`` additionally
+fails whatever is still queued with :class:`ServerClosed`. The server is
+a context manager (drains on clean exit).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Sequence
+
+from repro.serve.batcher import BatchPolicy, MicroBatcher, RequestQueue
+from repro.serve.request import (
+    DeadlineExceeded,
+    Request,
+    RequestKind,
+    ServerClosed,
+)
+from repro.serve.session import InferenceSession
+from repro.serve.stats import ServerStats
+
+__all__ = ["InferenceServer"]
+
+
+class InferenceServer:
+    """Dynamic micro-batching server over an :class:`InferenceSession`."""
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        policy: BatchPolicy | None = None,
+        default_deadline_ms: float | None = None,
+        warmup: bool = True,
+    ) -> None:
+        self.session = session
+        self.policy = policy or BatchPolicy(
+            max_batch_size=session.max_batch_size
+        )
+        if self.policy.max_batch_size > session.max_batch_size:
+            raise ValueError(
+                f"policy batch size {self.policy.max_batch_size} exceeds "
+                f"session compiled batch {session.max_batch_size}"
+            )
+        self.default_deadline_ms = default_deadline_ms
+        self.stats = ServerStats()
+        self.queue = RequestQueue(self.policy.max_queue_depth)
+        self.batcher = MicroBatcher(self.queue, self.policy)
+        self._warmup_on_start = warmup
+        self._dispatcher: threading.Thread | None = None
+        self._accepting = False
+        # In-flight accounting shares the queue's lock: the batcher's
+        # on_take hook increments it in the same critical section that
+        # removes requests, so drain's "queued + in-flight == 0" check
+        # can never miss a batch in the removal gap.
+        self._inflight = 0
+        self._idle = threading.Condition(self.queue._lock)
+        self.warmup_report: dict | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        if self._dispatcher is not None:
+            raise RuntimeError("server already started")
+        if self._warmup_on_start:
+            self.warmup_report = self.session.warmup()
+        # Post-warmup mark: serving traffic from here on must be all
+        # plan-cache hits if warmup covered the bucket table.
+        self.stats.mark_cache(self.session.plan_cache)
+        self._accepting = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admissions; wait until queued + in-flight work finishes.
+
+        Returns True when fully drained within ``timeout``.
+        """
+        self._accepting = False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self.queue._items or self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the server. With ``drain``, finish queued work first;
+        without, fail still-queued requests with :class:`ServerClosed`."""
+        self._accepting = False
+        if drain and self._dispatcher is not None:
+            self.drain(timeout)
+        self.queue.close()
+        for req in self.queue.drain_pending():
+            req.future.set_exception(ServerClosed("server shut down"))
+            self.stats.on_failure()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=10.0)
+            self._dispatcher = None
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(
+        self,
+        tokens: Sequence[int],
+        kind: RequestKind = RequestKind.TRANSLATE,
+        targets: Sequence[int] | None = None,
+        max_len: int | None = None,
+        deadline_ms: float | None = None,
+        timeout: float | None = 0.0,
+    ) -> Future:
+        """Admit one request; returns a future resolving to its result.
+
+        Raises :class:`ServerClosed` when not accepting, ``ValueError``
+        when no bucket fits, :class:`QueueFullError` on backpressure
+        (after waiting up to ``timeout`` for space).
+        """
+        if not self._accepting:
+            raise ServerClosed("server is not accepting requests")
+        deadline_ms = (
+            deadline_ms if deadline_ms is not None else self.default_deadline_ms
+        )
+        request = Request(
+            kind=kind, tokens=tokens, targets=targets, max_len=max_len,
+            deadline_s=(
+                time.monotonic() + deadline_ms / 1000.0
+                if deadline_ms is not None else None
+            ),
+        )
+        try:
+            request.bucket = self.session.bucket_for_length(len(tokens))
+        except ValueError:
+            self.stats.on_reject_invalid()
+            raise
+        try:
+            depth = self.queue.put(request, timeout=timeout)
+        except Exception:
+            self.stats.on_reject_full()
+            raise
+        self.stats.on_submit(depth)
+        return request.future
+
+    def translate(self, tokens: Sequence[int], **kwargs) -> list[int]:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(tokens, RequestKind.TRANSLATE, **kwargs).result()
+
+    def score(self, tokens: Sequence[int], targets: Sequence[int],
+              **kwargs) -> float:
+        return self.submit(
+            tokens, RequestKind.SCORE, targets=targets, **kwargs
+        ).result()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _on_take(self, planned) -> None:
+        # Runs under the queue lock, inside the batcher's removal section.
+        self._inflight += len(planned.requests) + len(planned.shed)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            planned = self.batcher.next_batch(on_take=self._on_take)
+            if planned is None:
+                return
+            taken = len(planned.requests) + len(planned.shed)
+            try:
+                for req in planned.shed:
+                    req.future.set_exception(DeadlineExceeded(
+                        f"request {req.request_id} queued past its deadline"
+                    ))
+                if planned.shed:
+                    self.stats.on_shed(len(planned.shed))
+                if planned.requests:
+                    self._run_planned(planned.requests)
+            finally:
+                with self._idle:
+                    self._inflight -= taken
+                    self._idle.notify_all()
+
+    def _run_planned(self, requests: list[Request]) -> None:
+        head = requests[0]
+        try:
+            results = self.session.run_batch(
+                head.kind, head.bucket, requests
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            for req in requests:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            self.stats.on_failure(len(requests))
+            return
+        now = time.monotonic()
+        latencies = []
+        for req, result in zip(requests, results):
+            req.future.set_result(result)
+            latencies.append(req.latency_s(now) * 1000.0)
+        self.stats.on_batch(len(requests), latencies)
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> str:
+        return self.stats.format_report(self.session.plan_cache)
+
+    def snapshot(self) -> dict:
+        return self.stats.snapshot(self.session.plan_cache)

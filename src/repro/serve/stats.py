@@ -1,0 +1,159 @@
+"""Serving metrics: latency percentiles, occupancy, shedding, cache hits.
+
+The counters mirror what a production model server exports (queue depth,
+batch occupancy, p50/p95/p99, shed/rejected counts) plus the repo's own
+signature metric — plan-cache hit rate, which proves warmup really did
+pre-compile every bucket plan the traffic needed. Formatting reuses the
+``experiments.common.format_table`` report style and the profiler's
+sparkline so serving reports look like every other artifact this repo
+prints.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+__all__ = ["ServerStats", "percentile"]
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (p in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class _CacheMark:
+    hits: int = 0
+    misses: int = 0
+
+
+class ServerStats:
+    """Thread-safe accumulator for one server's lifetime metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.rejected_full = 0
+        self.rejected_invalid = 0
+        self.batches = 0
+        self.batch_sizes: list[int] = []
+        self.latencies_ms: list[float] = []
+        self.queue_depth_peak = 0
+        self.depth_samples: list[int] = []
+        self._cache_mark = _CacheMark()
+
+    # -- recording (called by the server/queue) -----------------------------
+
+    def on_submit(self, depth: int) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.queue_depth_peak = max(self.queue_depth_peak, depth)
+            self.depth_samples.append(depth)
+
+    def on_reject_full(self) -> None:
+        with self._lock:
+            self.rejected_full += 1
+
+    def on_reject_invalid(self) -> None:
+        with self._lock:
+            self.rejected_invalid += 1
+
+    def on_shed(self, count: int = 1) -> None:
+        with self._lock:
+            self.shed += count
+
+    def on_batch(self, occupancy: int, latencies_ms: list[float]) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batch_sizes.append(occupancy)
+            self.latencies_ms.extend(latencies_ms)
+            self.completed += occupancy
+
+    def on_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self.failed += count
+
+    def mark_cache(self, plan_cache) -> None:
+        """Snapshot plan-cache counters (call after warmup); the hit rate
+        reported from here on covers post-warmup traffic only."""
+        hits, misses = plan_cache.counters()
+        with self._lock:
+            self._cache_mark = _CacheMark(hits=hits, misses=misses)
+
+    # -- derived metrics ----------------------------------------------------
+
+    def latency_ms(self, p: float) -> float:
+        with self._lock:
+            return percentile(self.latencies_ms, p)
+
+    def mean_occupancy(self) -> float:
+        with self._lock:
+            if not self.batch_sizes:
+                return 0.0
+            return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    def cache_hit_rate(self, plan_cache) -> float:
+        """Plan-cache hit rate since :meth:`mark_cache` (1.0 when no
+        post-mark lookups happened at all — nothing was compiled)."""
+        hits, misses = plan_cache.counters()
+        with self._lock:
+            dh = hits - self._cache_mark.hits
+            dm = misses - self._cache_mark.misses
+        if dh + dm == 0:
+            return 1.0
+        return dh / (dh + dm)
+
+    def cache_misses_since_mark(self, plan_cache) -> int:
+        _, misses = plan_cache.counters()
+        with self._lock:
+            return misses - self._cache_mark.misses
+
+    def snapshot(self, plan_cache=None) -> dict:
+        """One machine-readable dict of everything (for BENCH_serve.json)."""
+        with self._lock:
+            out = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "rejected_full": self.rejected_full,
+                "rejected_invalid": self.rejected_invalid,
+                "batches": self.batches,
+                "mean_batch_occupancy": (
+                    sum(self.batch_sizes) / len(self.batch_sizes)
+                    if self.batch_sizes else 0.0
+                ),
+                "queue_depth_peak": self.queue_depth_peak,
+                "latency_ms_p50": percentile(self.latencies_ms, 50),
+                "latency_ms_p95": percentile(self.latencies_ms, 95),
+                "latency_ms_p99": percentile(self.latencies_ms, 99),
+            }
+        if plan_cache is not None:
+            out["plan_cache_hit_rate"] = self.cache_hit_rate(plan_cache)
+            out["plan_cache_misses_post_warmup"] = (
+                self.cache_misses_since_mark(plan_cache)
+            )
+        return out
+
+    def format_report(self, plan_cache=None) -> str:
+        """Human-readable serving report (experiments table style)."""
+        from repro.experiments.common import format_table
+        from repro.profiler import sparkline
+
+        snap = self.snapshot(plan_cache)
+        rows = [(k, f"{v:.3f}" if isinstance(v, float) else str(v))
+                for k, v in snap.items()]
+        with self._lock:
+            depths = list(self.depth_samples)
+        if depths:
+            rows.append(("queue depth over time", sparkline(depths)))
+        return format_table(["metric", "value"], rows, "serving report")

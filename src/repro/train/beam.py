@@ -11,6 +11,7 @@ search (tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.models.nmt import (
     build_encoder_inference,
 )
 from repro.nn import ParamStore
+from repro.ops.softmax import log_softmax_array
 from repro.runtime import GraphExecutor
 
 _NEG_INF = np.float32(-1e30)
@@ -50,6 +52,10 @@ class BeamSearchDecoder:
         length_penalty: float = 1.0,
         bos: int = 1,
         eos: int = 2,
+        arena: Any | None = None,
+        plan_cache: Any | None = None,
+        threads: int | None = None,
+        batch_gemms: bool | None = None,
     ) -> None:
         if beam_size < 1:
             raise ValueError("beam_size must be at least 1")
@@ -58,12 +64,16 @@ class BeamSearchDecoder:
         self.length_penalty = length_penalty
         self.bos = bos
         self.eos = eos
-        self._encoder = GraphExecutor([build_encoder_inference(config, store)])
+        exec_kwargs = dict(arena=arena, plan_cache=plan_cache,
+                           threads=threads, batch_gemms=batch_gemms)
+        self._encoder = GraphExecutor(
+            [build_encoder_inference(config, store)], **exec_kwargs
+        )
         step_config = replace(
             config, batch_size=config.batch_size * beam_size
         )
         self._step = GraphExecutor(
-            build_decoder_step(step_config, store).outputs
+            build_decoder_step(step_config, store).outputs, **exec_kwargs
         )
 
     def translate(
@@ -124,7 +134,7 @@ class BeamSearchDecoder:
                 (out[2 + 2 * i], out[3 + 2 * i])
                 for i in range(cfg.decoder_layers)
             ]
-            log_probs = _log_softmax(logits).reshape(batch, beam, -1)
+            log_probs = log_softmax_array(logits).reshape(batch, beam, -1)
             vocab = log_probs.shape[-1]
 
             # Finished beams may only "extend" with EOS at zero cost.
@@ -181,8 +191,3 @@ class BeamSearchDecoder:
             )
             results.append(beams)
         return results
-
-
-def _log_softmax(logits: np.ndarray) -> np.ndarray:
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))

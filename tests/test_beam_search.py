@@ -12,7 +12,7 @@ from repro.train import (
     GreedyDecoder,
     Trainer,
 )
-from repro.train.beam import _log_softmax
+from repro.ops.softmax import log_softmax_array
 
 
 @pytest.fixture(scope="module")
@@ -66,7 +66,7 @@ def _sequence_log_prob(cfg, store, params, src, tokens, bos=1, eos=2):
         logits, att = out[0], out[1]
         states = [(out[2 + 2 * i], out[3 + 2 * i])
                   for i in range(cfg.decoder_layers)]
-        logp = _log_softmax(logits)
+        logp = log_softmax_array(logits)
         nxt = np.full(batch, eos, np.int64)
         for b in range(batch):
             if done[b]:
@@ -141,6 +141,6 @@ class TestBeamQuality:
     def test_log_softmax_normalized(self):
         x = np.random.default_rng(0).standard_normal((5, 11)).astype(
             np.float32)
-        lp = _log_softmax(x)
+        lp = log_softmax_array(x)
         np.testing.assert_allclose(np.exp(lp).sum(axis=1), np.ones(5),
                                    rtol=1e-5)

@@ -1,0 +1,604 @@
+"""Tests for the inference serving subsystem (repro.serve).
+
+Covers the plan-cache thread-safety/LRU satellite, the micro-batching
+policy, admission control (backpressure, deadline shedding, drain), and
+the subsystem's load-bearing determinism contract: concurrent
+micro-batched serving is bitwise-identical to sequential single-request
+decode through the same compiled plans.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import BucketSpec, pad_to_bucket
+from repro.models import NmtConfig, build_nmt
+from repro.nn import Backend
+from repro.runtime import PlanCache
+from repro.serve import (
+    BatchPolicy,
+    DeadlineExceeded,
+    InferenceServer,
+    InferenceSession,
+    MicroBatcher,
+    QueueFullError,
+    Request,
+    RequestKind,
+    RequestQueue,
+    ServerClosed,
+    percentile,
+)
+
+BUCKETS = (BucketSpec(4, 6), BucketSpec(8, 10), BucketSpec(12, 12))
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = NmtConfig(
+        src_vocab_size=40, tgt_vocab_size=40, embed_size=12, hidden_size=12,
+        encoder_layers=1, decoder_layers=1, src_len=12, tgt_len=12,
+        batch_size=4, backend=Backend.CUDNN,
+    )
+    nmt = build_nmt(cfg)
+    params = nmt.store.initialize()
+    return cfg, nmt.store, params
+
+
+def make_session(model, **kwargs):
+    cfg, store, params = model
+    kwargs.setdefault("max_batch_size", 4)
+    return InferenceSession(cfg, store, params, BUCKETS, **kwargs)
+
+
+def random_requests(n, seed=0, kinds=(RequestKind.TRANSLATE,)):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(n):
+        length = int(rng.integers(2, 13))
+        tokens = [int(t) for t in rng.integers(3, 40, size=length)]
+        kind = kinds[i % len(kinds)]
+        targets = None
+        if kind is RequestKind.SCORE:
+            targets = [int(t) for t in rng.integers(3, 40, size=length)]
+        requests.append((kind, tokens, targets))
+    return requests
+
+
+def reference_results(session, requests):
+    reqs = [
+        Request(kind=kind, tokens=tokens, targets=targets,
+                bucket=session.bucket_for_length(len(tokens)))
+        for kind, tokens, targets in requests
+    ]
+    return session.run_sequential(reqs)
+
+
+# ---------------------------------------------------------------------------
+# PlanCache: LRU eviction + thread safety (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestPlanCacheConcurrency:
+    def test_lru_eviction_on_capacity_overflow(self):
+        cache = PlanCache(capacity=2)
+        cache.memo("a", lambda: 1)
+        cache.memo("b", lambda: 2)
+        cache.memo("c", lambda: 3)  # evicts "a" (least recently used)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert len(cache) == 2
+        misses = cache.misses
+        assert cache.memo("a", lambda: 1) == 1  # rebuild
+        assert cache.misses == misses + 1
+        # "b" was older than the re-inserted "a": it is the evictee.
+        assert "b" not in cache
+
+    def test_lru_access_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.memo("a", lambda: 1)
+        cache.memo("b", lambda: 2)
+        cache.memo("a", lambda: 1)  # touch: "b" becomes LRU
+        cache.memo("c", lambda: 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+
+    def test_concurrent_same_key_builds_once(self):
+        cache = PlanCache(capacity=8)
+        builds = []
+
+        def builder():
+            time.sleep(0.01)
+            builds.append(1)
+            return "value"
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.memo("k", builder))
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == ["value"] * 8
+        assert len(builds) == 1
+        assert cache.counters() == (7, 1)
+
+    def test_concurrent_mixed_keys_with_eviction(self):
+        cache = PlanCache(capacity=4)
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(300):
+                key = int(rng.integers(0, 8))
+                value = cache.memo(key, lambda k=key: k * 10)
+                if value != key * 10:
+                    errors.append((key, value))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 4
+
+    def test_reentrant_builder(self):
+        cache = PlanCache(capacity=8)
+
+        def outer():
+            return cache.memo("inner", lambda: 41) + 1
+
+        assert cache.memo("outer", outer) == 42
+        assert "inner" in cache
+
+
+# ---------------------------------------------------------------------------
+# Bucket padding
+# ---------------------------------------------------------------------------
+
+
+class TestPadToBucket:
+    def test_shapes_padding_and_filler(self):
+        bucket = BucketSpec(6, 8)
+        out = pad_to_bucket([[5, 6], [7, 8, 9]], bucket, 4, pad_token=0)
+        assert out.shape == (6, 4) and out.dtype == np.int64
+        np.testing.assert_array_equal(out[:, 0], [5, 6, 0, 0, 0, 0])
+        np.testing.assert_array_equal(out[:, 1], [7, 8, 9, 0, 0, 0])
+        # filler rows repeat row 0
+        np.testing.assert_array_equal(out[:, 2], out[:, 0])
+        np.testing.assert_array_equal(out[:, 3], out[:, 0])
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            pad_to_bucket([[1] * 9], BucketSpec(6, 8), 4)
+        with pytest.raises(ValueError):
+            pad_to_bucket([[1]] * 5, BucketSpec(6, 8), 4)
+        with pytest.raises(ValueError):
+            pad_to_bucket([], BucketSpec(6, 8), 4)
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching policy
+# ---------------------------------------------------------------------------
+
+
+def _req(tokens, bucket, kind=RequestKind.TRANSLATE, deadline_s=None):
+    return Request(kind=kind, tokens=tokens, bucket=bucket,
+                   deadline_s=deadline_s,
+                   targets=[1] if kind is RequestKind.SCORE else None)
+
+
+class TestMicroBatcher:
+    def test_coalesces_same_bucket_fifo(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=0.0))
+        reqs = [_req([1, 2], BUCKETS[0]) for _ in range(3)]
+        for r in reqs:
+            queue.put(r)
+        planned = batcher.next_batch()
+        assert [r.request_id for r in planned.requests] == \
+            [r.request_id for r in reqs]
+        assert not planned.shed
+        assert len(queue) == 0
+
+    def test_splits_by_bucket_head_of_line(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=0.0))
+        a = _req([1, 2], BUCKETS[0])
+        b = _req([1] * 7, BUCKETS[1])
+        c = _req([3, 4], BUCKETS[0])
+        for r in (a, b, c):
+            queue.put(r)
+        first = batcher.next_batch()
+        assert [r.request_id for r in first.requests] == \
+            [a.request_id, c.request_id]
+        second = batcher.next_batch()
+        assert [r.request_id for r in second.requests] == [b.request_id]
+
+    def test_kind_splits_batches(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=0.0))
+        a = _req([1, 2], BUCKETS[0])
+        b = _req([1, 2], BUCKETS[0], kind=RequestKind.SCORE)
+        queue.put(a)
+        queue.put(b)
+        assert [r.request_id for r in batcher.next_batch().requests] == \
+            [a.request_id]
+        assert [r.request_id for r in batcher.next_batch().requests] == \
+            [b.request_id]
+
+    def test_max_batch_size_caps_group(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=2,
+                                                  max_wait_ms=0.0))
+        for _ in range(5):
+            queue.put(_req([1, 2], BUCKETS[0]))
+        assert len(batcher.next_batch().requests) == 2
+        assert len(batcher.next_batch().requests) == 2
+        assert len(batcher.next_batch().requests) == 1
+
+    def test_waits_for_coalescing_window(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=200.0))
+        queue.put(_req([1, 2], BUCKETS[0]))
+        got = []
+
+        def consume():
+            got.append(batcher.next_batch())
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.02)  # inside the window: batcher should still wait
+        queue.put(_req([3, 4], BUCKETS[0]))
+        queue.put(_req([5, 6], BUCKETS[0]))
+        queue.put(_req([7, 8], BUCKETS[0]))  # fills max_batch_size -> dispatch
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert len(got[0].requests) == 4
+
+    def test_sheds_expired_requests(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=0.0))
+        past = time.monotonic() - 1.0
+        live = _req([1, 2], BUCKETS[0])
+        dead_head = _req([1, 2], BUCKETS[0], deadline_s=past)
+        dead_mid = _req([3, 4], BUCKETS[0], deadline_s=past)
+        queue.put(dead_head)
+        queue.put(live)
+        queue.put(dead_mid)
+        planned = batcher.next_batch()
+        assert [r.request_id for r in planned.requests] == [live.request_id]
+        assert {r.request_id for r in planned.shed} == \
+            {dead_head.request_id, dead_mid.request_id}
+
+    def test_all_expired_returns_shed_only_batch(self):
+        queue = RequestQueue(max_depth=16)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
+                                                  max_wait_ms=0.0))
+        past = time.monotonic() - 1.0
+        queue.put(_req([1, 2], BUCKETS[0], deadline_s=past))
+        planned = batcher.next_batch()
+        assert planned.requests == [] and len(planned.shed) == 1
+
+    def test_closed_empty_returns_none(self):
+        queue = RequestQueue(max_depth=4)
+        batcher = MicroBatcher(queue, BatchPolicy())
+        queue.close()
+        assert batcher.next_batch() is None
+
+    def test_on_take_runs_in_removal_section(self):
+        queue = RequestQueue(max_depth=4)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=2,
+                                                  max_wait_ms=0.0))
+        queue.put(_req([1, 2], BUCKETS[0]))
+        seen = []
+        batcher.next_batch(on_take=lambda p: seen.append(p.occupancy))
+        assert seen == [1]
+
+
+class TestRequestQueueBackpressure:
+    def test_put_refuses_when_full(self):
+        queue = RequestQueue(max_depth=2)
+        queue.put(_req([1, 2], BUCKETS[0]))
+        queue.put(_req([1, 2], BUCKETS[0]))
+        with pytest.raises(QueueFullError):
+            queue.put(_req([1, 2], BUCKETS[0]), timeout=0.0)
+
+    def test_put_waits_for_space(self):
+        queue = RequestQueue(max_depth=1)
+        batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=1,
+                                                  max_wait_ms=0.0))
+        queue.put(_req([1, 2], BUCKETS[0]))
+
+        def free_one():
+            time.sleep(0.05)
+            batcher.next_batch()
+
+        t = threading.Thread(target=free_one)
+        t.start()
+        queue.put(_req([3, 4], BUCKETS[0]), timeout=5.0)  # must not raise
+        t.join()
+        assert len(queue) == 1
+
+    def test_put_after_close_raises(self):
+        queue = RequestQueue(max_depth=2)
+        queue.close()
+        with pytest.raises(ServerClosed):
+            queue.put(_req([1, 2], BUCKETS[0]))
+
+
+# ---------------------------------------------------------------------------
+# InferenceSession
+# ---------------------------------------------------------------------------
+
+
+class TestInferenceSession:
+    def test_warmup_precompiles_every_bucket(self, model):
+        session = make_session(model)
+        report = session.warmup()
+        assert report["buckets"] == len(BUCKETS)
+        assert report["plans_compiled"] > 0
+        # Second warmup is pure cache hits.
+        again = session.warmup()
+        assert again["plans_compiled"] == 0
+        assert again["cache_hits"] == len(BUCKETS)
+
+    def test_serving_after_warmup_never_compiles(self, model):
+        session = make_session(model)
+        session.warmup()
+        _, misses0 = session.plan_cache.counters()
+        for kind, tokens, targets in random_requests(12, seed=3):
+            bucket = session.bucket_for_length(len(tokens))
+            session.run_batch(
+                kind, bucket,
+                [Request(kind=kind, tokens=tokens, targets=targets,
+                         bucket=bucket)],
+            )
+        _, misses1 = session.plan_cache.counters()
+        assert misses1 == misses0
+
+    def test_partial_batch_matches_full_batch_rows(self, model):
+        """Row results are independent of batch composition (the property
+        micro-batching rests on)."""
+        session = make_session(model)
+        reqs = [
+            Request(kind=RequestKind.TRANSLATE, tokens=t)
+            for t in ([4, 5, 6], [7, 8], [9, 10, 11], [12])
+        ]
+        bucket = session.bucket_for_length(3)
+        full = session.run_batch(RequestKind.TRANSLATE, bucket, reqs)
+        for i, req in enumerate(reqs):
+            alone = session.run_batch(RequestKind.TRANSLATE, bucket, [req])
+            assert alone[0] == full[i]
+
+    def test_max_len_trims_output(self, model):
+        session = make_session(model)
+        req = Request(kind=RequestKind.TRANSLATE, tokens=[4, 5, 6], max_len=2)
+        bucket = session.bucket_for_length(3)
+        trimmed = session.run_batch(RequestKind.TRANSLATE, bucket, [req])[0]
+        free = session.run_batch(
+            RequestKind.TRANSLATE, bucket,
+            [Request(kind=RequestKind.TRANSLATE, tokens=[4, 5, 6])],
+        )[0]
+        assert trimmed == free[:2]
+
+    def test_score_batch_matches_sequential(self, model):
+        session = make_session(model)
+        rng = np.random.default_rng(11)
+        same_bucket = []
+        for length in (9, 10, 11, 12):
+            tokens = [int(t) for t in rng.integers(3, 40, size=length)]
+            targets = [int(t) for t in rng.integers(3, 40, size=length - 1)]
+            same_bucket.append(
+                Request(kind=RequestKind.SCORE, tokens=tokens,
+                        targets=targets, bucket=BUCKETS[2])
+            )
+        batched = session.run_batch(RequestKind.SCORE, BUCKETS[2], same_bucket)
+        sequential = session.run_sequential(same_bucket)
+        assert batched == sequential  # exact float equality
+
+    def test_rejects_oversize_and_bad_config(self, model):
+        cfg, store, params = model
+        session = make_session(model)
+        with pytest.raises(ValueError):
+            session.bucket_for_length(13)
+        with pytest.raises(ValueError):
+            InferenceSession(cfg, store, params,
+                             (BucketSpec(24, 24),))  # exceeds model src_len
+        with pytest.raises(ValueError):
+            make_session(model, decoder="sampling")
+
+
+# ---------------------------------------------------------------------------
+# InferenceServer: concurrency, determinism, admission control
+# ---------------------------------------------------------------------------
+
+
+def serve_concurrently(server, requests, n_threads=4, timeout=60.0):
+    """Submit ``requests`` from ``n_threads`` threads; returns results in
+    submission-list order."""
+    futures = [None] * len(requests)
+
+    def client(indices):
+        for i in indices:
+            kind, tokens, targets = requests[i]
+            futures[i] = server.submit(tokens, kind=kind, targets=targets,
+                                       timeout=30.0)
+
+    threads = [
+        threading.Thread(target=client, args=(range(s, len(requests),
+                                                    n_threads),))
+        for s in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return [f.result(timeout=timeout) for f in futures]
+
+
+class TestInferenceServer:
+    def test_concurrent_serving_is_bitwise_sequential(self, model):
+        """The headline determinism contract: N threads of mixed-length
+        mixed-kind requests, micro-batched, match single-request decode
+        bitwise."""
+        session = make_session(model)
+        requests = random_requests(
+            32, seed=7, kinds=(RequestKind.TRANSLATE, RequestKind.SCORE)
+        )
+        server = InferenceServer(
+            session,
+            BatchPolicy(max_batch_size=4, max_wait_ms=4.0,
+                        max_queue_depth=64),
+        )
+        with server:
+            served = serve_concurrently(server, requests, n_threads=4)
+        expected = reference_results(session, requests)
+        assert served == expected
+        snap = server.snapshot()
+        assert snap["completed"] == len(requests)
+        assert snap["shed"] == 0 and snap["failed"] == 0
+        assert snap["plan_cache_misses_post_warmup"] == 0
+        assert snap["plan_cache_hit_rate"] == 1.0
+
+    def test_micro_batching_coalesces(self, model):
+        session = make_session(model)
+        requests = [
+            (RequestKind.TRANSLATE, [5, 6, 7], None) for _ in range(16)
+        ]
+        server = InferenceServer(
+            session,
+            BatchPolicy(max_batch_size=4, max_wait_ms=50.0,
+                        max_queue_depth=64),
+        )
+        with server:
+            serve_concurrently(server, requests, n_threads=8)
+        snap = server.snapshot()
+        assert snap["mean_batch_occupancy"] > 1.0
+        assert snap["batches"] < len(requests)
+
+    def test_beam_session_serves_identically(self, model):
+        session = make_session(model, decoder="beam", beam_size=2)
+        requests = random_requests(8, seed=5)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=4.0)
+        )
+        with server:
+            served = serve_concurrently(server, requests, n_threads=2)
+        assert served == reference_results(session, requests)
+
+    def test_deadline_shedding(self, model):
+        session = make_session(model)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=0.0)
+        )
+        with server:
+            future = server.submit([5, 6, 7], deadline_ms=-1.0)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=10.0)
+        assert server.snapshot()["shed"] == 1
+
+    def test_backpressure_rejects_when_full(self, model):
+        session = make_session(model)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=0.0,
+                                 max_queue_depth=2),
+            warmup=False,
+        )
+        # Not started: nothing drains the queue, so capacity is hard.
+        server._accepting = True
+        server.submit([5, 6], timeout=0.0)
+        server.submit([5, 6], timeout=0.0)
+        with pytest.raises(QueueFullError):
+            server.submit([5, 6], timeout=0.0)
+        assert server.snapshot()["rejected_full"] == 1
+
+    def test_rejects_unbucketable_length(self, model):
+        session = make_session(model)
+        with InferenceServer(session, warmup=False) as server:
+            with pytest.raises(ValueError):
+                server.submit([1] * 13)
+        assert server.snapshot()["rejected_invalid"] == 1
+
+    def test_submit_after_shutdown_raises(self, model):
+        session = make_session(model)
+        server = InferenceServer(session, warmup=False)
+        server.start()
+        server.shutdown()
+        with pytest.raises(ServerClosed):
+            server.submit([5, 6])
+
+    def test_shutdown_without_drain_fails_pending(self, model):
+        session = make_session(model)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=0.0,
+                                 max_queue_depth=8),
+            warmup=False,
+        )
+        server._accepting = True  # admit without a dispatcher running
+        future = server.submit([5, 6, 7])
+        server.shutdown(drain=False)
+        with pytest.raises(ServerClosed):
+            future.result(timeout=10.0)
+
+    def test_drain_completes_all_admitted_work(self, model):
+        session = make_session(model)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=10.0,
+                                 max_queue_depth=64),
+        )
+        server.start()
+        futures = [server.submit([5, 6, 7], timeout=5.0) for _ in range(12)]
+        assert server.drain(timeout=60.0)
+        assert all(f.done() for f in futures)
+        server.shutdown()
+        assert server.snapshot()["completed"] == 12
+
+    def test_warmup_runs_on_start(self, model):
+        session = make_session(model)
+        with InferenceServer(session) as server:
+            assert server.warmup_report is not None
+            assert server.warmup_report["buckets"] == len(BUCKETS)
+
+    def test_policy_batch_must_fit_session(self, model):
+        session = make_session(model, max_batch_size=2)
+        with pytest.raises(ValueError):
+            InferenceServer(session, BatchPolicy(max_batch_size=4))
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+class TestServerStats:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 95) == 95.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([], 99) == 0.0
+        assert percentile([7.0], 50) == 7.0
+
+    def test_report_contains_key_metrics(self, model):
+        session = make_session(model)
+        requests = random_requests(8, seed=2)
+        with InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=4.0)
+        ) as server:
+            serve_concurrently(server, requests, n_threads=2)
+        report = server.report()
+        for needle in ("latency_ms_p99", "mean_batch_occupancy",
+                       "plan_cache_hit_rate", "queue depth over time"):
+            assert needle in report
