@@ -1,0 +1,55 @@
+"""Static analysis of graphs, compiled plans, and wavefront schedules.
+
+Four analyzers, each independently re-deriving an invariant the compiler
+or a rewrite is supposed to maintain:
+
+* :func:`lint_graph` — dataflow-graph well-formedness (IR0xx);
+* :func:`check_lifetimes` — arena slot liveness vs. the compiled plan's
+  static buffer replay (LT1xx);
+* :func:`check_plan_races` / :func:`check_schedule` — happens-before
+  verification of wavefront schedules (RC2xx);
+* :func:`check_recompute_safety` — Echo recompute-region invariants over
+  a schedule (EC3xx).
+
+:func:`verify_plan` aggregates all four over one :class:`CompiledPlan`;
+``python -m repro.analysis.lint`` runs them over the benchmark models;
+``REPRO_VERIFY=1`` wires :func:`assert_plan_safe` into every
+:class:`~repro.runtime.plancache.PlanCache` compile. DESIGN.md §8
+documents the finding-code catalog and how to add a check.
+"""
+
+from repro.analysis.findings import (
+    CODES,
+    AnalysisReport,
+    Finding,
+    Severity,
+)
+from repro.analysis.ir_lint import lint_graph
+from repro.analysis.lifetime import check_lifetimes
+from repro.analysis.races import check_plan_races, check_schedule, labeled_edges
+from repro.analysis.recompute import check_recompute_safety
+from repro.analysis.verify import (
+    PlanVerificationError,
+    assert_plan_safe,
+    verification_enabled,
+    verify_graph,
+    verify_plan,
+)
+
+__all__ = [
+    "CODES",
+    "AnalysisReport",
+    "Finding",
+    "Severity",
+    "lint_graph",
+    "check_lifetimes",
+    "check_plan_races",
+    "check_schedule",
+    "labeled_edges",
+    "check_recompute_safety",
+    "PlanVerificationError",
+    "assert_plan_safe",
+    "verification_enabled",
+    "verify_graph",
+    "verify_plan",
+]

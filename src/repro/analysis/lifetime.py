@@ -1,0 +1,212 @@
+"""Arena lifetime sanitizer over a compiled plan's lowering record.
+
+The compiler assigns every intermediate a *static* arena buffer by
+replaying the free lists at compile time (`runtime/compiled.py`): a slot's
+storage is recycled to a later slot the moment its alias group's simulated
+refcount drains. The correctness of that replay — frees strictly after
+last use, reuse strictly after free — is exactly what end-to-end bitwise
+tests can only probe indirectly. This sanitizer recomputes liveness from
+the instruction descriptors alone and cross-checks every decision the
+compiler recorded:
+
+* **LT101** — an instruction reads a slot no earlier instruction (or
+  source/constant binding) defines;
+* **LT102** — ``frees_at`` releases a slot before its recomputed last
+  use (use-after-free once the storage is recycled);
+* **LT103** — two alias groups with overlapping live ranges are backed by
+  the same raw arena buffer (the silent-corruption class: a later write
+  destroys a value still to be read);
+* **LT104** — an escaping output (or source/constant) slot is backed by
+  plan-static storage (outputs must survive later iterations, so they are
+  acquired fresh every run by contract);
+* **LT105** — a produced slot is never freed (warning: a leak keeps its
+  size class out of the free lists but cannot corrupt results).
+
+Scope: one plan at a time. Plans sharing an arena overlay each other's
+static pages *by design* (they run one iteration to completion at a time);
+cross-plan overlap is therefore not a defect and is not reported.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.compiled import PlanLowering, storage_base
+
+from repro.analysis.findings import Finding, finding
+
+__all__ = ["check_lifetimes"]
+
+_ANALYZER = "lifetime"
+
+
+def _lowering_of(plan: Any) -> PlanLowering:
+    low = getattr(plan, "lowering", plan)
+    if not isinstance(low, PlanLowering):
+        raise TypeError(
+            f"expected a CompiledPlan or PlanLowering, got {type(plan)!r}"
+        )
+    return low
+
+
+def check_lifetimes(plan: Any) -> list[Finding]:
+    """Sanity-check a plan's slot liveness and static storage assignment.
+
+    ``plan`` is a :class:`repro.runtime.compiled.CompiledPlan` or its
+    :class:`~repro.runtime.compiled.PlanLowering` record.
+    """
+    low = _lowering_of(plan)
+    descs = low.descs
+    findings: list[Finding] = []
+
+    # Recompute def / last-use per slot over the stream. Sources and
+    # constants are defined before instruction 0.
+    bound = set(low.source_slots) | set(low.constant_slots)
+    def_at: dict[int, int] = {s: -1 for s in bound}
+    last_use: dict[int, int] = {}
+    for idx, desc in enumerate(descs):
+        for s in desc["in_slots"]:
+            if s not in def_at:
+                findings.append(
+                    finding(
+                        "LT101",
+                        f"instruction {idx} ({desc['node'].name}) reads "
+                        f"slot {s} before any instruction defines it",
+                        _ANALYZER,
+                        instr=idx,
+                        slot=s,
+                    )
+                )
+            last_use[s] = idx
+        for s in desc["out_slots"]:
+            def_at.setdefault(s, idx)
+    # A slot never consumed dies at its producer (mirrors the compiler).
+    for s, d in def_at.items():
+        if d >= 0:
+            last_use.setdefault(s, d)
+
+    # LT102: frees honoring last use (and each slot freed at most once).
+    freed_at: dict[int, int] = {}
+    for idx, fs in sorted(low.frees_at.items()):
+        for s, _root, _rel in fs:
+            prev = freed_at.get(s)
+            if prev is not None:
+                findings.append(
+                    finding(
+                        "LT102",
+                        f"slot {s} freed twice (instructions {prev} "
+                        f"and {idx})",
+                        _ANALYZER,
+                        instr=idx,
+                        slot=s,
+                    )
+                )
+                continue
+            freed_at[s] = idx
+            use = last_use.get(s, def_at.get(s, -1))
+            if use > idx:
+                findings.append(
+                    finding(
+                        "LT102",
+                        f"slot {s} freed after instruction {idx} but "
+                        f"still read by instruction {use}",
+                        _ANALYZER,
+                        instr=idx,
+                        slot=s,
+                    )
+                )
+
+    # LT104: pinned slots (outputs, sources, constants) must stay dynamic.
+    pinned = low.output_slots | low.source_slots | low.constant_slots
+    for s in sorted(pinned):
+        r = low.root[s] if s < len(low.root) else s
+        if r in low.static_views:
+            kind = (
+                "output" if s in low.output_slots
+                else "constant" if s in low.constant_slots
+                else "source"
+            )
+            findings.append(
+                finding(
+                    "LT104",
+                    f"{kind} slot {s} is backed by plan-static storage "
+                    f"(root {r}); its buffer would be recycled across "
+                    "iterations",
+                    _ANALYZER,
+                    slot=s,
+                )
+            )
+
+    # LT105: produced, unfrozen slots that are never freed.
+    for s, d in sorted(def_at.items()):
+        if d < 0 or s in pinned:
+            continue
+        if s not in freed_at:
+            findings.append(
+                finding(
+                    "LT105",
+                    f"slot {s} (defined by instruction {d}) is never "
+                    "freed; its size class leaks from the arena replay",
+                    _ANALYZER,
+                    instr=d,
+                    slot=s,
+                )
+            )
+
+    # LT103: live ranges of alias groups sharing one raw buffer must be
+    # disjoint. A group's range spans from its earliest member def to its
+    # latest member use; batched-GEMM input scratch is acquired at its
+    # instruction and deliberately never released, so it owns its pages
+    # from that point to the end of the stream.
+    group_def: dict[int, int] = {}
+    group_use: dict[int, int] = {}
+    for s, d in def_at.items():
+        if d < 0 or s >= len(low.root):
+            continue
+        r = low.root[s]
+        group_def[r] = min(group_def.get(r, d), d)
+        use = last_use.get(s, d)
+        group_use[r] = max(group_use.get(r, use), use)
+
+    end = len(descs)
+    # (base id, lo, hi, label) intervals per raw buffer.
+    intervals: dict[int, list[tuple[int, int, str]]] = {}
+    for r, view in low.static_views.items():
+        if r not in group_def:
+            continue
+        base = id(storage_base(view))
+        intervals.setdefault(base, []).append(
+            (group_def[r], group_use[r], f"slot group {r}")
+        )
+    for idx, desc in enumerate(descs):
+        if desc["kind"] != "batched":
+            continue
+        for scratch_key in ("scratch_a", "scratch_b"):
+            scratch = desc.get(scratch_key)
+            if scratch is None:
+                continue
+            base = id(storage_base(scratch))
+            intervals.setdefault(base, []).append(
+                (idx, end, f"{scratch_key} of instruction {idx}")
+            )
+
+    for ranges in intervals.values():
+        ranges.sort()
+        # Sweep with the running latest end, so a long range is checked
+        # against every later one, not just its sort neighbor.
+        lo_a, hi_a, label_a = ranges[0]
+        for lo_b, hi_b, label_b in ranges[1:]:
+            if lo_b <= hi_a:
+                findings.append(
+                    finding(
+                        "LT103",
+                        f"{label_a} (live [{lo_a}, {hi_a}]) and {label_b} "
+                        f"(live [{lo_b}, {hi_b}]) share one raw arena "
+                        "buffer",
+                        _ANALYZER,
+                        instr=lo_b,
+                    )
+                )
+            if hi_b > hi_a:
+                lo_a, hi_a, label_a = lo_b, hi_b, label_b
+    return findings

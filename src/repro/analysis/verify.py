@@ -1,0 +1,128 @@
+"""One-call plan verification: all four analyzers over one compiled plan.
+
+:func:`verify_plan` is the aggregation point — graph IR lint, recompute
+safety over the schedule, arena lifetime sanity over the lowering, and
+race detection over the wavefront schedule (stored or probed) — returning
+a single :class:`AnalysisReport`. :func:`assert_plan_safe` turns an
+unclean report into a :class:`PlanVerificationError`.
+
+The opt-in runtime guard: with ``REPRO_VERIFY=1`` in the environment,
+:class:`repro.runtime.plancache.PlanCache` calls :func:`assert_plan_safe`
+on every plan it compiles (cache misses only — verification is itself
+memoized by the cache's build-once contract), so a full test run or a
+serving warmup statically verifies every plan it touches before the first
+iteration executes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Sequence
+
+from repro.graph import Node, Tensor
+
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.ir_lint import lint_graph
+from repro.analysis.lifetime import check_lifetimes
+from repro.analysis.races import check_plan_races
+from repro.analysis.recompute import check_recompute_safety
+
+__all__ = [
+    "PlanVerificationError",
+    "verification_enabled",
+    "verify_graph",
+    "verify_plan",
+    "assert_plan_safe",
+]
+
+#: env var gating the PlanCache compile-time guard
+VERIFY_ENV = "REPRO_VERIFY"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class PlanVerificationError(RuntimeError):
+    """A compiled plan failed static verification.
+
+    ``report`` carries the full :class:`AnalysisReport`, including the
+    warnings that did not contribute to the failure.
+    """
+
+    def __init__(self, message: str, report: AnalysisReport) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+def verification_enabled() -> bool:
+    """Whether the ``REPRO_VERIFY`` compile-time guard is switched on."""
+    return os.environ.get(VERIFY_ENV, "").strip().lower() in _TRUTHY
+
+
+def verify_graph(
+    outputs: Sequence[Tensor],
+    order: Sequence[Node] | None = None,
+    sources: Sequence[Tensor] = (),
+) -> AnalysisReport:
+    """Graph-level verification only (no lowered plan required)."""
+    report = AnalysisReport()
+    report.extend(lint_graph(outputs, sources=sources))
+    if order is not None:
+        report.extend(
+            check_recompute_safety(order, {t.key for t in outputs})
+        )
+    return report
+
+
+def verify_plan(
+    plan: Any,
+    outputs: Sequence[Tensor] | None = None,
+    order: Sequence[Node] | None = None,
+    threads_probe: int = 4,
+    sources: Sequence[Tensor] = (),
+) -> AnalysisReport:
+    """Run all four analyzers against one compiled plan.
+
+    ``outputs``/``order`` default to the plan's own; pass them explicitly
+    when verifying a plan against a graph state other than the one it was
+    compiled from. ``sources`` feeds the IR linter's unused-source check
+    (bindings the plan never consumes are invisible to reachability).
+    """
+    outputs = plan.outputs if outputs is None else list(outputs)
+    order = plan.order if order is None else list(order)
+    report = AnalysisReport()
+    report.extend(lint_graph(outputs, sources=sources))
+    report.extend(check_recompute_safety(order, {t.key for t in outputs}))
+    report.extend(check_lifetimes(plan))
+    report.extend(check_plan_races(plan, threads_probe=threads_probe))
+    return report
+
+
+def assert_plan_safe(
+    plan: Any,
+    outputs: Sequence[Tensor] | None = None,
+    order: Sequence[Node] | None = None,
+    threads_probe: int = 4,
+    ignore: Iterable[str] = (),
+) -> AnalysisReport:
+    """Verify ``plan`` and raise :class:`PlanVerificationError` on errors.
+
+    ``ignore`` suppresses specific finding codes (triaged-benign ones);
+    the returned report is the filtered one.
+    """
+    report = verify_plan(
+        plan, outputs=outputs, order=order, threads_probe=threads_probe
+    )
+    ignore = tuple(ignore)
+    if ignore:
+        report = report.without(ignore)
+    if not report.ok:
+        errors = report.errors
+        detail = "\n".join(f.format() for f in errors[:8])
+        if len(errors) > 8:
+            detail += f"\n... and {len(errors) - 8} more"
+        raise PlanVerificationError(
+            f"plan verification failed with {len(errors)} error(s):\n"
+            f"{detail}",
+            report,
+        )
+    return report

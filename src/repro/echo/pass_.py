@@ -239,11 +239,42 @@ class EchoPass:
                 _new_order, new_plan = self._replan(outputs)
 
         check_barrier_legality(_new_order)
+        self._verify_rewrite(_new_order, output_keys)
 
         report.recompute_seconds = spent
         report.optimized_peak_bytes = new_plan.peak_bytes
         report.optimized_plan = new_plan
         return report
+
+
+    @staticmethod
+    def _verify_rewrite(order: list[Node], output_keys: set) -> None:
+        """Full recompute-safety analysis of the rewritten schedule.
+
+        Gated on ``REPRO_VERIFY`` (the same switch as the plan-compile
+        guard): :func:`check_barrier_legality` stays the always-on fast
+        check, while this runs the complete EC3xx analyzer — mirror
+        fidelity, RNG determinism, stash-border dominance — and raises on
+        any error-severity finding.
+        """
+        from repro.analysis.verify import verification_enabled
+
+        if not verification_enabled():
+            return
+        from repro.analysis.recompute import check_recompute_safety
+        from repro.analysis.findings import Severity
+
+        errors = [
+            f
+            for f in check_recompute_safety(order, output_keys)
+            if f.severity is Severity.ERROR
+        ]
+        if errors:
+            detail = "\n".join(f.format() for f in errors[:8])
+            raise RuntimeError(
+                f"Echo rewrite failed verification with {len(errors)} "
+                f"error(s):\n{detail}"
+            )
 
 
 def check_barrier_legality(order: list[Node]) -> None:

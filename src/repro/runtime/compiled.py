@@ -67,6 +67,7 @@ faster.
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -75,7 +76,12 @@ from repro.graph import Node, Tensor
 from repro.ops.matmul import gemm_batch_key, stacked_operand
 from repro.runtime.memory import TensorKey
 from repro.runtime.pool import round_up
-from repro.runtime.wavefront import InstrInfo, analyze_wavefronts, partition_chunks
+from repro.runtime.wavefront import (
+    InstrInfo,
+    WavefrontSchedule,
+    analyze_wavefronts,
+    partition_chunks,
+)
 from repro.runtime.workers import WorkerPool, shared_pool
 
 _SOURCE_OPS = ("placeholder", "variable")
@@ -257,6 +263,122 @@ class Arena:
         return total
 
 
+def storage_base(arr: np.ndarray) -> np.ndarray:
+    """The raw buffer ultimately backing ``arr`` (walks ``.base``)."""
+    raw = arr
+    while raw.base is not None:
+        raw = raw.base
+    return raw
+
+
+@dataclass
+class PlanLowering:
+    """Compile-time artifacts of one :class:`CompiledPlan`, for analysis.
+
+    This is the contract the static analyzers in :mod:`repro.analysis`
+    consume: everything the compiler decided — instruction descriptors,
+    slot identities, alias roots, the simulated free replay, and the
+    static buffer assignment — captured *before* the closures are baked,
+    so a verifier can recompute liveness and storage reuse independently
+    and cross-check the plan without executing it.
+
+    ``descs`` entries are dicts with at least ``kind`` (``out`` /
+    ``generic`` / ``view`` / ``fused`` / ``batched``), ``node``,
+    ``in_slots`` and ``out_slots``; batched entries additionally carry
+    ``nodes``, ``a_slots``/``b_slots`` and ``scratch_a``/``scratch_b``
+    arrays. They are the compiler's own working records (shared, not
+    copied) — treat them as read-only unless deliberately corrupting a
+    fixture.
+    """
+
+    #: instruction descriptors, stream order
+    descs: list[dict[str, Any]]
+    #: tensor key -> register slot
+    slot_of: dict[TensorKey, int]
+    #: alias-group root of each slot (views/batched members share storage)
+    root: list[int]
+    source_slots: frozenset[int]
+    constant_slots: frozenset[int]
+    output_slots: frozenset[int]
+    #: whether each *root* slot's storage participates in the arena replay
+    releasable: list[bool]
+    #: instruction index -> [(slot, root, releasable)] freed after it
+    frees_at: dict[int, list[tuple[int, int, bool]]]
+    #: root slot -> permanently-assigned static buffer view
+    static_views: dict[int, np.ndarray]
+    #: wavefront program layout (serial runs / parallel chunk lists) when
+    #: the plan compiled a parallel program, else None
+    program_layout: list[tuple[str, Any]] | None = None
+    #: the InstrInfos the wavefront analysis ran on (threads > 1 only)
+    infos: list[InstrInfo] | None = None
+    #: the wavefront schedule the program was baked from (threads > 1)
+    schedule: WavefrontSchedule | None = None
+    #: id(raw buffer) -> nbytes for every distinct static storage base
+    static_bases: dict[int, int] = field(default_factory=dict)
+
+
+def build_instr_infos(
+    descs: Sequence[dict[str, Any]],
+    root: Sequence[int],
+    static_views: Mapping[int, np.ndarray],
+    device: Any | None = None,
+) -> list[InstrInfo]:
+    """Dependence-relevant facts for each instruction descriptor.
+
+    Shared by the wavefront planner (``device`` set: real simulated costs
+    gate parallelism) and the static race analyzer (``device`` None: zero
+    costs — hazard structure only, no cost model construction).
+    """
+
+    def base_of(slot: int) -> int | None:
+        view = static_views.get(root[slot])
+        if view is None:
+            return None
+        return id(storage_base(view))
+
+    infos: list[InstrInfo] = []
+    for idx, desc in enumerate(descs):
+        kind = desc["kind"]
+        read_bases: set[int] = set()
+        write_bases: set[int] = set()
+        for s in desc["in_slots"]:
+            b = base_of(s)
+            if b is not None:
+                read_bases.add(b)
+        if kind != "view":  # views touch no storage themselves
+            for s in desc["out_slots"]:
+                b = base_of(s)
+                if b is not None:
+                    write_bases.add(b)
+        for scratch_key in ("scratch_a", "scratch_b"):
+            scratch = desc.get(scratch_key)
+            if scratch is not None:
+                write_bases.add(id(storage_base(scratch)))
+        if kind == "fused":
+            cost_nodes = [member for _op, member, _p in desc["chain"]]
+        elif kind == "batched":
+            cost_nodes = desc["nodes"]
+        else:
+            cost_nodes = [desc["node"]]
+        cost = 0.0
+        if device is not None:
+            cost = sum(
+                device.node_cost(n).kernel_seconds for n in cost_nodes
+            )
+        infos.append(
+            InstrInfo(
+                index=idx,
+                reads=tuple(desc["in_slots"]),
+                writes=tuple(desc["out_slots"]),
+                read_bases=tuple(sorted(read_bases)),
+                write_bases=tuple(sorted(write_bases)),
+                stage=desc["node"].stage,
+                cost_seconds=cost,
+            )
+        )
+    return infos
+
+
 class CompiledPlan:
     """A schedule lowered to slot-indexed instruction closures.
 
@@ -295,6 +417,8 @@ class CompiledPlan:
         self.generic_alloc_count = 0
         self._alloc_lock = threading.Lock() if self.threads > 1 else None
         self._pool: WorkerPool | None = None
+        self._wavefront_infos: list[InstrInfo] | None = None
+        self._wavefront_schedule: WavefrontSchedule | None = None
         self._compile()
 
     # -- compilation ---------------------------------------------------------
@@ -575,11 +699,38 @@ class CompiledPlan:
         self.static_slot_count = len(static_views)
         raws: dict[int, int] = {}
         for view in static_views.values():
-            base = view
-            while base.base is not None:
-                base = base.base
+            base = storage_base(view)
             raws[id(base)] = base.nbytes
         self.static_storage_bytes = sum(raws.values())
+
+        #: compile-time record for the static analyzers (repro.analysis)
+        self.lowering = PlanLowering(
+            descs=descs,
+            slot_of=dict(slot_of),
+            root=list(root),
+            source_slots=frozenset(source_slots),
+            constant_slots=frozenset(constant_slots),
+            output_slots=frozenset(output_slots),
+            releasable=list(releasable),
+            frees_at={idx: list(fs) for idx, fs in frees_at.items()},
+            static_views=dict(static_views),
+            program_layout=program_layout,
+            infos=self._wavefront_infos,
+            schedule=self._wavefront_schedule,
+            static_bases=dict(raws),
+        )
+
+    def instr_infos(self) -> list[InstrInfo]:
+        """InstrInfos over the lowered stream, costs zeroed.
+
+        Rebuilt on demand from the lowering record so serial plans (which
+        never ran the wavefront planner) can still be race-analyzed
+        against a hypothetical schedule.
+        """
+        low = self.lowering
+        if low.infos is not None:
+            return low.infos
+        return build_instr_infos(low.descs, low.root, low.static_views)
 
     # -- batched-GEMM pre-pass ----------------------------------------------
 
@@ -755,59 +906,11 @@ class CompiledPlan:
             device = DeviceModel()
             self._device = device
 
-        def base_of(slot: int) -> int | None:
-            view = static_views.get(root[slot])
-            if view is None:
-                return None
-            raw = view
-            while raw.base is not None:
-                raw = raw.base
-            return id(raw)
-
-        def raw_id(arr: np.ndarray) -> int:
-            raw = arr
-            while raw.base is not None:
-                raw = raw.base
-            return id(raw)
-
-        infos: list[InstrInfo] = []
-        for idx, desc in enumerate(descs):
-            kind = desc["kind"]
-            read_bases: set[int] = set()
-            write_bases: set[int] = set()
-            for s in desc["in_slots"]:
-                b = base_of(s)
-                if b is not None:
-                    read_bases.add(b)
-            if kind != "view":  # views touch no storage themselves
-                for s in desc["out_slots"]:
-                    b = base_of(s)
-                    if b is not None:
-                        write_bases.add(b)
-            for scratch_key in ("scratch_a", "scratch_b"):
-                scratch = desc.get(scratch_key)
-                if scratch is not None:
-                    write_bases.add(raw_id(scratch))
-            if kind == "fused":
-                cost_nodes = [member for _op, member, _p in desc["chain"]]
-            elif kind == "batched":
-                cost_nodes = desc["nodes"]
-            else:
-                cost_nodes = [desc["node"]]
-            cost = sum(device.node_cost(n).kernel_seconds for n in cost_nodes)
-            infos.append(
-                InstrInfo(
-                    index=idx,
-                    reads=tuple(desc["in_slots"]),
-                    writes=tuple(desc["out_slots"]),
-                    read_bases=tuple(sorted(read_bases)),
-                    write_bases=tuple(sorted(write_bases)),
-                    stage=desc["node"].stage,
-                    cost_seconds=cost,
-                )
-            )
+        infos = build_instr_infos(descs, root, static_views, device)
+        self._wavefront_infos = infos
 
         schedule = analyze_wavefronts(infos, self.threads)
+        self._wavefront_schedule = schedule
         self.wavefront_region_count = schedule.region_count
         self.wavefront_level_count = len(schedule.levels)
         self.parallel_level_count = len(schedule.parallel_levels)

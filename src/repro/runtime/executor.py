@@ -147,6 +147,24 @@ class GraphExecutor:
         the profiler adds optimizer state and framework overheads)."""
         return self.memory_plan.peak_bytes
 
+    def verify(self, threads_probe: int = 4):
+        """Statically verify this executor's compiled plan.
+
+        Runs all four :mod:`repro.analysis` analyzers — IR lint, recompute
+        safety, arena lifetimes, wavefront races — against the plan and
+        returns the :class:`~repro.analysis.findings.AnalysisReport`
+        (``report.ok`` is the pass/fail bit). Independent of the
+        ``REPRO_VERIFY`` compile-time guard.
+        """
+        from repro.analysis.verify import verify_plan
+
+        return verify_plan(
+            self.plan,
+            outputs=self.outputs,
+            order=self.order,
+            threads_probe=threads_probe,
+        )
+
     def run(
         self,
         feeds: Mapping[str, np.ndarray] | None = None,

@@ -20,11 +20,29 @@ import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
+import os
+
 from repro.graph import Tensor
 from repro.graph.traversal import topo_order
 from repro.runtime.compiled import Arena, CompiledPlan
 from repro.runtime.memory import Category, MemoryPlan, TensorKey, plan_memory
 from repro.runtime.scheduler import schedule
+
+
+def _maybe_verify(plan: CompiledPlan) -> None:
+    """Statically verify a freshly compiled plan when ``REPRO_VERIFY`` is on.
+
+    The env check is inline so the disabled path costs one dict lookup and
+    never imports :mod:`repro.analysis`. Runs on cache misses only (the
+    builder path), so a cached plan is verified exactly once.
+    """
+    if os.environ.get("REPRO_VERIFY", "").strip().lower() not in (
+        "1", "true", "yes", "on",
+    ):
+        return
+    from repro.analysis.verify import assert_plan_safe
+
+    assert_plan_safe(plan)
 
 
 def graph_signature(outputs: Sequence[Tensor]) -> Hashable:
@@ -142,9 +160,8 @@ class PlanCache:
             "compiled", sig, id(arena), fuse, threads, batch_gemms,
             id(device) if device is not None else None,
         )
-        return self.memo(
-            key,
-            lambda: CompiledPlan(
+        def build() -> CompiledPlan:
+            plan = CompiledPlan(
                 order if order is not None else schedule(outputs),
                 outputs,
                 arena=arena,
@@ -152,8 +169,11 @@ class PlanCache:
                 threads=threads,
                 batch_gemms=batch_gemms,
                 device=device,
-            ),
-        )
+            )
+            _maybe_verify(plan)
+            return plan
+
+        return self.memo(key, build)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

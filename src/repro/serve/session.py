@@ -137,6 +137,8 @@ class InferenceSession:
         ``decoder_for`` call is a plan-cache hit, which bounds
         first-request latency by kernel time alone.
         """
+        from repro.analysis.verify import verification_enabled
+
         start = time.perf_counter()
         hits0, misses0 = self.plan_cache.counters()
         for bucket in self.buckets:
@@ -147,7 +149,32 @@ class InferenceSession:
             "plans_compiled": misses1 - misses0,
             "cache_hits": hits1 - hits0,
             "seconds": time.perf_counter() - start,
+            # plans compile through the shared PlanCache, whose builder
+            # runs the static analyzers when REPRO_VERIFY is on — so a
+            # warmup under the guard *is* a verification pass over every
+            # serving plan, before the first request executes
+            "verified": verification_enabled(),
         }
+
+    def verify(self, threads_probe: int = 4):
+        """Statically verify every bucket decoder's compiled plans.
+
+        Compiles any cold bucket (same path as :meth:`warmup`), runs the
+        :mod:`repro.analysis` analyzers over each bucket's encoder and
+        decoder-step plans, and returns one merged
+        :class:`~repro.analysis.findings.AnalysisReport`. Explicit
+        (unconditional) counterpart of the ``REPRO_VERIFY`` warmup guard.
+        """
+        from repro.analysis.findings import AnalysisReport
+
+        report = AnalysisReport()
+        for bucket in self.buckets:
+            decoder = self.decoder_for(bucket)
+            for executor in (decoder._encoder, decoder._step):
+                report.extend(
+                    executor.verify(threads_probe=threads_probe).findings
+                )
+        return report
 
     # -- batch execution ----------------------------------------------------
 
