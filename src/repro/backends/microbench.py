@@ -10,7 +10,11 @@ selection safe. Both pieces live here.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
 
 import repro.ops as O
 from repro.autodiff import TrainingGraph, compile_training
@@ -19,6 +23,11 @@ from repro.graph import Stage, scope
 from repro.gpumodel import DeviceModel
 from repro.nn import Backend, ParamStore
 from repro.nn.rnn import multilayer_lstm
+
+# Shared robust-timing reducer (best-of-k + IQR fence): the same statistic
+# guards the host microbenchmark here and the calibration harvest, so
+# scheduler jitter poisons neither.
+from repro.pgo.records import RobustTiming, robust_best
 from repro.runtime import TrainingExecutor
 
 
@@ -106,6 +115,63 @@ def benchmark_lstm(
     )
 
 
+@dataclass(frozen=True)
+class MeasuredLstmResult:
+    """Host wall-clock of one backend's iteration, robust-reduced.
+
+    The *measured* counterpart of :class:`LstmBenchResult`: real numpy
+    kernel time on this host, reported as best-of-k inside an
+    interquartile fence (a single descheduled run cannot poison the
+    number — the fix the calibration records depend on).
+    """
+
+    backend: Backend
+    timing: RobustTiming
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timing.seconds
+
+
+def measure_lstm(
+    batch_size: int,
+    hidden_size: int,
+    num_layers: int,
+    seq_len: int,
+    backend: Backend,
+    repeats: int = 5,
+    device: DeviceModel | None = None,
+    apply_echo: bool = True,
+    seed: int = 0,
+) -> MeasuredLstmResult:
+    """Run the pure-LSTM iteration on the host and time it, best-of-k.
+
+    One warmup iteration (first-touch allocation, arena population) is
+    excluded, then ``repeats`` timed iterations feed :func:`robust_best`.
+    Deterministic feeds, so every iteration does identical work.
+    """
+    graph, store = pure_lstm_graph(
+        batch_size, hidden_size, num_layers, seq_len, backend
+    )
+    if backend is Backend.ECHO and apply_echo:
+        EchoPass(device=device).run(graph)
+    executor = TrainingExecutor(graph, device=device)
+    params = store.initialize()
+    rng = np.random.default_rng(seed)
+    feeds = {
+        "lstm_in": rng.standard_normal(
+            (seq_len, batch_size, hidden_size), dtype=np.float32
+        )
+    }
+    executor.run(feeds, params)  # warmup
+    samples = []
+    for _ in range(max(1, int(repeats))):
+        start = time.perf_counter()
+        executor.run(feeds, params)
+        samples.append(time.perf_counter() - start)
+    return MeasuredLstmResult(backend=backend, timing=robust_best(samples))
+
+
 @dataclass
 class AutotuneReport:
     """Outcome of the pre-training backend selection."""
@@ -131,13 +197,37 @@ def autotune_backend(
     num_layers: int,
     seq_len: int,
     device: DeviceModel | None = None,
+    store: Any = None,
 ) -> AutotuneReport:
     """Run the microbenchmark for all backends and pick the fastest.
 
     This is the transparent dispatch of Section 5.4: callers build their
     model with ``report.choice`` and never name a backend themselves.
+
+    Results persist to the tuning store (``store``, defaulting to the
+    ``REPRO_TUNE_DIR`` store when set), keyed by hyperparameters and the
+    device's cache token — a warm process skips the microbenchmark
+    entirely, and recalibration (which changes the token of calibrated
+    devices) re-tunes automatically.
     """
-    device = device or DeviceModel()
+    if store is None:
+        from repro.pgo.store import default_store
+
+        store = default_store()
+    if device is None:
+        from repro.pgo.calibrated import default_device
+
+        device = default_device()
+    token = getattr(device, "cache_token", (device.spec.name, "analytic"))
+    key = (
+        f"lstm:b{batch_size}:h{hidden_size}:l{num_layers}:s{seq_len}:"
+        + "-".join(str(p) for p in token)
+    )
+    if store is not None:
+        entry = store.load_autotune(key)
+        report = _autotune_from_payload(entry)
+        if report is not None:
+            return report
     results = {
         backend: benchmark_lstm(
             batch_size, hidden_size, num_layers, seq_len, backend, device
@@ -145,4 +235,37 @@ def autotune_backend(
         for backend in Backend
     }
     choice = min(results, key=lambda b: results[b].total_seconds)
+    report = AutotuneReport(choice=choice, results=results)
+    if store is not None:
+        store.save_autotune(
+            key,
+            {
+                "choice": choice.value,
+                "results": {
+                    b.value: [r.forward_seconds, r.backward_seconds]
+                    for b, r in results.items()
+                },
+            },
+        )
+    return report
+
+
+def _autotune_from_payload(entry: Any) -> AutotuneReport | None:
+    """Rebuild an :class:`AutotuneReport` from a persisted entry."""
+    if not isinstance(entry, dict):
+        return None
+    try:
+        choice = Backend(entry["choice"])
+        results = {
+            Backend(name): LstmBenchResult(
+                backend=Backend(name),
+                forward_seconds=float(fwd),
+                backward_seconds=float(bwd),
+            )
+            for name, (fwd, bwd) in entry["results"].items()
+        }
+    except (KeyError, ValueError, TypeError):
+        return None
+    if choice not in results:
+        return None
     return AutotuneReport(choice=choice, results=results)

@@ -92,7 +92,14 @@ class EchoPass:
         plan_cache: PlanCache | None = None,
     ) -> None:
         self.config = config or EchoConfig()
-        self.device = device or DeviceModel()
+        if device is None:
+            # Calibrated when REPRO_TUNE_DIR has measured coverage: the
+            # accept/reject analysis then prices recompute chains from the
+            # host's own kernel timings instead of pure roofline constants.
+            from repro.pgo.calibrated import default_device
+
+            device = default_device()
+        self.device = device
         self.plan_cache = (
             plan_cache if plan_cache is not None else default_plan_cache()
         )
@@ -109,8 +116,12 @@ class EchoPass:
         output_keys = {t.key for t in outputs}
 
         order, baseline_plan = self._replan(outputs)
+        # Keyed by the device's cache token (not just the spec): a
+        # calibrated device embeds its calibration epoch, so recalibration
+        # invalidates memoized iteration costs automatically.
+        device_key = getattr(self.device, "cache_token", self.device.spec)
         iteration = self.plan_cache.memo(
-            ("itercost", graph_signature(outputs), self.device.spec),
+            ("itercost", graph_signature(outputs), device_key),
             lambda: estimate_iteration_cost(order, self.device),
         )
         budget = cfg.overhead_budget_fraction * iteration.seconds

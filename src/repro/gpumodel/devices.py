@@ -102,6 +102,17 @@ class DeviceModel:
     def __repr__(self) -> str:
         return f"DeviceModel({self.spec.name})"
 
+    @property
+    def cache_token(self) -> tuple:
+        """Hashable identity of this model's *answers*.
+
+        Two devices with equal tokens price every node identically, so the
+        token can key caches of cost-derived artifacts (Echo analyses,
+        wavefront layouts). Calibrated models extend it with their
+        calibration epoch — see :mod:`repro.pgo.calibrated`.
+        """
+        return (self.spec.name, "analytic")
+
     # -- node costing --------------------------------------------------------
 
     def node_cost(self, node: Node) -> KernelCost:

@@ -7,9 +7,11 @@ from repro.profiler.memory import (
 )
 from repro.profiler.timeline import compare_timelines, format_timeline, sparkline
 from repro.profiler.runtime import (
+    MeasuredNodeTiming,
     RuntimeReport,
     dram_transactions,
     kernel_family,
+    measure_node_timings,
     profile_runtime,
 )
 
@@ -21,6 +23,8 @@ __all__ = [
     "profile_runtime",
     "kernel_family",
     "dram_transactions",
+    "MeasuredNodeTiming",
+    "measure_node_timings",
     "format_timeline",
     "compare_timelines",
     "sparkline",

@@ -12,11 +12,17 @@ groups them two complementary ways, exactly as the paper does:
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
-from repro.runtime.executor import NodeTiming
+import numpy as np
+
+from repro.runtime.executor import GraphExecutor, NodeTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph import Node
 
 #: op name -> kernel family shown in reports (mirrors nvprof kernel names)
 _KERNEL_FAMILY = {
@@ -125,3 +131,87 @@ def profile_runtime(
 def dram_transactions(timings: Sequence[NodeTiming], width: int = 32) -> int:
     """Total DRAM transactions (nvprof-style, 32B segments)."""
     return sum(t.dram_bytes for t in timings) // width
+
+
+# -- measured (host wall-clock) timings -------------------------------------
+
+
+@dataclass(frozen=True)
+class MeasuredNodeTiming:
+    """Host wall-clock of one node's kernel, reduced over repeated passes.
+
+    This is the *measured* counterpart of :class:`NodeTiming` (which holds
+    simulated device cost): what the numpy kernel actually took on this
+    host, robust-reduced so a single descheduled pass cannot poison the
+    calibration records built from it.
+    """
+
+    node: "Node"
+    seconds: float
+    samples: tuple[float, ...]
+    stable: bool
+
+
+def measure_node_timings(
+    order: Sequence["Node"],
+    feeds: Mapping[str, np.ndarray],
+    params: Mapping[str, np.ndarray],
+    repeats: int = 5,
+) -> list[MeasuredNodeTiming]:
+    """Wall-clock every kernel in ``order``, best-of-``repeats`` per node.
+
+    Walks the schedule interpreter-style (dict-keyed values, liveness
+    frees) ``repeats`` times, timing each ``op.compute`` call with
+    ``perf_counter`` and reducing per node with
+    :func:`repro.pgo.records.robust_best`. The global step is pinned to 0
+    every pass so stochastic ops (dropout) do identical work each time.
+    """
+    from repro.ops.dropout import set_global_step
+    from repro.pgo.records import robust_best
+
+    repeats = max(1, int(repeats))
+    last_use: dict[tuple[int, int], int] = {}
+    for step, node in enumerate(order):
+        for t in node.inputs:
+            last_use[t.key] = step
+    free_after: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for key, step in last_use.items():
+        free_after[step].append(key)
+
+    samples: list[list[float]] = [[] for _ in order]
+    for _ in range(repeats):
+        set_global_step(0)
+        values: dict[tuple[int, int], np.ndarray] = {}
+        for step, node in enumerate(order):
+            if node.op.name == "placeholder":
+                values[(node.uid, 0)] = GraphExecutor._bind(
+                    feeds, node, kind="placeholder"
+                )
+            elif node.op.name == "variable":
+                values[(node.uid, 0)] = GraphExecutor._bind(
+                    params, node, kind="variable"
+                )
+            else:
+                inputs = [values[t.key] for t in node.inputs]
+                start = time.perf_counter()
+                results = node.op.compute(node, inputs)
+                samples[step].append(time.perf_counter() - start)
+                for i, arr in enumerate(results):
+                    values[(node.uid, i)] = arr
+            for key in free_after[step]:
+                values.pop(key, None)
+
+    out: list[MeasuredNodeTiming] = []
+    for step, node in enumerate(order):
+        if not samples[step]:
+            continue  # placeholder / variable: nothing ran
+        timing = robust_best(samples[step])
+        out.append(
+            MeasuredNodeTiming(
+                node=node,
+                seconds=timing.seconds,
+                samples=timing.samples,
+                stable=timing.stable,
+            )
+        )
+    return out

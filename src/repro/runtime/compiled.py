@@ -78,6 +78,7 @@ from repro.runtime.memory import TensorKey
 from repro.runtime.pool import round_up
 from repro.runtime.wavefront import (
     InstrInfo,
+    Wavefront,
     WavefrontSchedule,
     analyze_wavefronts,
     partition_chunks,
@@ -400,6 +401,8 @@ class CompiledPlan:
         threads: int = 1,
         batch_gemms: bool | None = None,
         device: Any | None = None,
+        code_cache: Any | None = None,
+        wavefront_artifact: dict[str, Any] | None = None,
     ) -> None:
         self.order = list(order)
         self.outputs = list(outputs)
@@ -412,6 +415,15 @@ class CompiledPlan:
             self.threads > 1 if batch_gemms is None else bool(batch_gemms)
         )
         self._device = device
+        #: optional :class:`repro.pgo.BytecodeCache` routing every
+        #: ``compile`` of generated closure source through a persistent map
+        self._code_cache = code_cache
+        #: optional serialized wavefront layout (see
+        #: :meth:`wavefront_artifact`); validated, then trusted in place of
+        #: re-running the wavefront analysis
+        self._wavefront_artifact = wavefront_artifact
+        #: whether this plan's wavefront layout came from the artifact
+        self.wavefront_from_cache = False
         #: result arrays allocated by generic (non-``out=``) instructions,
         #: cumulative across runs (benchmarks read deltas)
         self.generic_alloc_count = 0
@@ -620,7 +632,13 @@ class CompiledPlan:
         self.max_wavefront_width = 0
         program_layout = None
         if self.threads > 1 and descs:
-            program_layout = self._plan_program(descs, root, static_views)
+            if self._wavefront_artifact is not None:
+                ok, program_layout = self._layout_from_artifact(
+                    self._wavefront_artifact, descs
+                )
+                self.wavefront_from_cache = ok
+            if not self.wavefront_from_cache:
+                program_layout = self._plan_program(descs, root, static_views)
 
         inline_clears = clears_at if program_layout is None else {}
 
@@ -901,9 +919,11 @@ class CompiledPlan:
         """
         device = self._device
         if device is None:
-            from repro.gpumodel import DeviceModel
+            # The ambient default: calibrated when a tuning store has
+            # coverage (REPRO_TUNE_DIR), plain analytical otherwise.
+            from repro.pgo.calibrated import default_device
 
-            device = DeviceModel()
+            device = default_device()
             self._device = device
 
         infos = build_instr_infos(descs, root, static_views, device)
@@ -941,6 +961,123 @@ class CompiledPlan:
             self.parallel_level_count = 0
             return None
         return layout
+
+    def _layout_from_artifact(
+        self, artifact: Any, descs: list[dict[str, Any]]
+    ) -> tuple[bool, list[tuple[str, Any]] | None]:
+        """Rebuild the wavefront layout from a serialized artifact.
+
+        Returns ``(ok, layout)``. Validation is structural — instruction
+        count, every index present exactly once, chunks covering their
+        level — so a torn or stale file degrades to a fresh analysis, not
+        a broken plan. The reconstructed :class:`WavefrontSchedule` is
+        stored on the lowering, which means ``REPRO_VERIFY=1`` re-checks
+        the *deserialized* level structure against independently re-derived
+        hazard edges before the plan is trusted (see
+        :func:`repro.analysis.races.check_plan_races`).
+        """
+        n = len(descs)
+        if not isinstance(artifact, dict) or artifact.get("instructions") != n:
+            return False, None
+        if artifact.get("serial"):
+            # The analysis previously kept everything serial; skip it and
+            # run the plain baked body, exactly as a fresh compile would.
+            return True, None
+        raw_levels = artifact.get("levels")
+        regions = artifact.get("regions")
+        if not isinstance(raw_levels, list) or not isinstance(regions, int):
+            return False, None
+        seen: list[int] = []
+        levels: list[Wavefront] = []
+        layout: list[tuple[str, Any]] = []
+        serial_run: list[int] = []
+        saw_parallel = False
+        for entry in raw_levels:
+            if not isinstance(entry, dict):
+                return False, None
+            idxs = entry.get("i")
+            if not isinstance(idxs, list) or not all(
+                isinstance(i, int) and 0 <= i < n for i in idxs
+            ):
+                return False, None
+            seen.extend(idxs)
+            parallel = bool(entry.get("p"))
+            try:
+                cost = float(entry.get("c", 0.0))
+            except (TypeError, ValueError):
+                return False, None
+            if parallel:
+                chunks = entry.get("chunks")
+                if not isinstance(chunks, list) or len(chunks) < 2:
+                    return False, None
+                flat: list[int] = []
+                for chunk in chunks:
+                    if not isinstance(chunk, list) or not chunk:
+                        return False, None
+                    flat.extend(chunk)
+                if sorted(flat) != sorted(idxs):
+                    return False, None
+                if serial_run:
+                    layout.append(("serial", serial_run))
+                    serial_run = []
+                layout.append(
+                    ("parallel", [[int(i) for i in c] for c in chunks])
+                )
+                saw_parallel = True
+            else:
+                serial_run.extend(idxs)
+            levels.append(Wavefront([int(i) for i in idxs], cost, parallel))
+        if serial_run:
+            layout.append(("serial", serial_run))
+        if sorted(seen) != list(range(n)) or not saw_parallel:
+            return False, None
+        schedule = WavefrontSchedule(levels, regions)
+        self._wavefront_schedule = schedule
+        self.wavefront_region_count = schedule.region_count
+        self.wavefront_level_count = len(schedule.levels)
+        self.parallel_level_count = len(schedule.parallel_levels)
+        self.parallel_instruction_count = schedule.parallel_instruction_count
+        self.max_wavefront_width = schedule.max_width
+        return True, layout
+
+    def wavefront_artifact(self) -> dict[str, Any] | None:
+        """Serialize this plan's wavefront decision for a tuning store.
+
+        Freshly analyzed plans only (cached layouts return None — nothing
+        new to persist). A plan whose cost gate kept everything serial
+        persists an explicit serial marker so warm processes skip the
+        analysis too.
+        """
+        if self.threads <= 1 or self.wavefront_from_cache:
+            return None
+        low = self.lowering
+        if not low.descs:
+            return None
+        if low.program_layout is None or low.schedule is None:
+            return {"instructions": len(low.descs), "serial": True}
+        par_chunks = [
+            members for kind, members in low.program_layout
+            if kind == "parallel"
+        ]
+        levels_payload: list[dict[str, Any]] = []
+        pi = 0
+        for wf in low.schedule.levels:
+            entry: dict[str, Any] = {
+                "i": list(wf.instructions),
+                "c": wf.cost_seconds,
+                "p": bool(wf.parallel),
+            }
+            if wf.parallel:
+                if pi >= len(par_chunks):
+                    return None  # layout/schedule mismatch; don't persist
+                entry["chunks"] = [list(c) for c in par_chunks[pi]]
+                pi += 1
+            levels_payload.append(entry)
+        return {
+            "instructions": len(low.descs),
+            "regions": low.schedule.region_count,
+            "levels": levels_payload,
+        }
 
     def _bake_program(
         self,
@@ -1016,8 +1153,19 @@ class CompiledPlan:
         head = f"def body(regs{', ' + defaults if defaults else ''}):\n"
         src = head + "\n".join(lines) + "\n"
         ns: dict = {}
-        exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
+        exec(self._compile_source(src), env, ns)  # noqa: S102
         return ns["body"]
+
+    def _compile_source(self, src: str):
+        """``compile`` the generated source, via the bytecode cache if any.
+
+        ``builtins.compile`` over the thousands of per-instruction sources
+        is the dominant cost of plan construction; the persistent cache
+        turns every repeat into a dict lookup.
+        """
+        if self._code_cache is not None:
+            return self._code_cache.compile(src)
+        return compile(src, "<compiled-plan>", "exec")
 
     @staticmethod
     def _fuse_chains(
@@ -1080,8 +1228,7 @@ class CompiledPlan:
 
     # -- closure factories ---------------------------------------------------
 
-    @staticmethod
-    def _bake(body: str, env: dict, node: Node, defaults: str):
+    def _bake(self, body: str, env: dict, node: Node, defaults: str):
         """Compile one instruction closure from source.
 
         ``defaults`` binds compile-time constants (the node, kernels,
@@ -1091,7 +1238,7 @@ class CompiledPlan:
         """
         src = f"def step(regs, {defaults}):\n{body}\n"
         ns: dict = {}
-        exec(compile(src, "<compiled-plan>", "exec"), env, ns)  # noqa: S102
+        exec(self._compile_source(src), env, ns)  # noqa: S102
         step = ns["step"]
         step._node = node
         return step

@@ -66,6 +66,11 @@ def graph_signature(outputs: Sequence[Tensor]) -> Hashable:
     return (nodes, tuple(t.key for t in outputs))
 
 
+#: sentinel distinguishing "no store given" (attach the REPRO_TUNE_DIR
+#: default) from an explicit ``store=None`` (persistence off)
+_UNSET: Any = object()
+
+
 class PlanCache:
     """LRU cache of planning artifacts keyed by graph signature.
 
@@ -80,14 +85,40 @@ class PlanCache:
     key build exactly once — and is reentrant because builders legally
     nest (compiling a serving decoder memoizes its schedule, memory
     plan, and compiled plan through the same cache).
+
+    When a persistent tuning store is attached (by default: the
+    ``REPRO_TUNE_DIR`` store, when that env var is set), in-process misses
+    consult it before building — schedule orders, wavefront layouts, and
+    closure bytecode load from disk, keyed by cross-process graph
+    fingerprints and device cache tokens — and fresh builds persist their
+    artifacts back. Pass ``store=None`` to opt out.
     """
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(self, capacity: int = 64, store: Any = _UNSET) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self._store = store
+
+    @property
+    def store(self) -> Any:
+        """The attached tuning store (or None when persistence is off).
+
+        The default re-resolves on each access until a store exists, so
+        setting ``REPRO_TUNE_DIR`` after this cache was constructed (the
+        common test pattern — and the process-wide default cache is built
+        at import time) still takes effect. Accessed only on memo misses.
+        """
+        if self._store is _UNSET:
+            from repro.pgo.store import default_store
+
+            resolved = default_store()
+            if resolved is not None:
+                self._store = resolved
+            return resolved
+        return self._store
 
     # -- generic memoization -------------------------------------------------
 
@@ -112,7 +143,19 @@ class PlanCache:
     def schedule_for(self, outputs: Sequence[Tensor]) -> list:
         """Cached ``schedule(outputs)``; returns a fresh list each call."""
         sig = graph_signature(outputs)
-        order = self.memo(("schedule", sig), lambda: schedule(outputs))
+
+        def build() -> list:
+            store = self.store
+            if store is not None:
+                cached = store.load_order(outputs, sig)
+                if cached is not None:
+                    return cached
+            order = schedule(outputs)
+            if store is not None:
+                store.save_order(outputs, order, sig)
+            return order
+
+        order = self.memo(("schedule", sig), build)
         return list(order)
 
     def plan_for(
@@ -161,6 +204,30 @@ class PlanCache:
             id(device) if device is not None else None,
         )
         def build() -> CompiledPlan:
+            store = self.store
+            resolved_device = device
+            code_cache = None
+            artifact = None
+            fp = token = None
+            bg = threads > 1 if batch_gemms is None else bool(batch_gemms)
+            if store is not None:
+                code_cache = store.code_cache()
+                if threads > 1:
+                    # Wavefront artifacts are keyed by the device's cache
+                    # token, so resolve the ambient device here (the same
+                    # resolution the plan itself would perform).
+                    if resolved_device is None:
+                        from repro.pgo.calibrated import default_device
+
+                        resolved_device = default_device()
+                    token = getattr(resolved_device, "cache_token", None)
+                    if token is None:
+                        spec = getattr(resolved_device, "spec", None)
+                        token = (getattr(spec, "name", "custom"), "analytic")
+                    fp = store.fingerprint_for(outputs, sig)
+                    artifact = store.load_wavefront(
+                        fp, token, threads, fuse, bg
+                    )
             plan = CompiledPlan(
                 order if order is not None else schedule(outputs),
                 outputs,
@@ -168,8 +235,18 @@ class PlanCache:
                 fuse=fuse,
                 threads=threads,
                 batch_gemms=batch_gemms,
-                device=device,
+                device=resolved_device,
+                code_cache=code_cache,
+                wavefront_artifact=artifact,
             )
+            if store is not None:
+                if fp is not None:
+                    fresh = plan.wavefront_artifact()
+                    if fresh is not None:
+                        store.save_wavefront(
+                            fp, token, threads, fuse, bg, fresh
+                        )
+                store.flush_code_cache()
             _maybe_verify(plan)
             return plan
 
@@ -197,8 +274,12 @@ class NullPlanCache(PlanCache):
     """A cache that never retains anything (every call rebuilds).
 
     Used by parity tests to prove cached planning changes no results, and
-    available to callers who want the old always-rebuild behavior.
+    available to callers who want the old always-rebuild behavior. Never
+    attaches a tuning store — the rebuild must be a real rebuild.
     """
+
+    def __init__(self, capacity: int = 64, store: Any = None) -> None:
+        super().__init__(capacity, store=None)
 
     def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         with self._lock:

@@ -25,7 +25,12 @@ import queue
 import threading
 from typing import Callable, Sequence
 
-__all__ = ["WorkerPool", "shared_pool", "default_thread_count"]
+__all__ = [
+    "WorkerPool",
+    "shared_pool",
+    "default_thread_count",
+    "max_execution_lanes",
+]
 
 
 def default_thread_count() -> int:
@@ -39,6 +44,24 @@ def default_thread_count() -> int:
         return max(1, int(os.environ.get("REPRO_THREADS", "1")))
     except ValueError:
         return 1
+
+
+def max_execution_lanes() -> int:
+    """Process-wide lane budget that :func:`shared_pool` enforces.
+
+    ``REPRO_THREADS`` when set (the operator's explicit budget), else the
+    host's core count — the point past which more worker threads only
+    contend. Every consumer of worker threads (wavefront execution,
+    serving) routes through :func:`shared_pool`, so the budget holds even
+    when several subsystems each ask for their own parallelism.
+    """
+    try:
+        env = int(os.environ.get("REPRO_THREADS", "0"))
+    except ValueError:
+        env = 0
+    if env >= 1:
+        return env
+    return max(1, os.cpu_count() or 1)
 
 
 class _LevelBarrier:
@@ -134,7 +157,15 @@ def shared_pool(num_workers: int) -> WorkerPool:
     Compiled plans with the same thread config share workers just as they
     share the default plan cache; daemon threads idle on the task queue
     between iterations.
+
+    The request is clamped to ``max_execution_lanes() - 1`` workers (the
+    caller's own thread is a lane) so a plan compiled for more threads
+    than the process budget cannot oversubscribe the host: ``run_level``
+    queues excess chunks and the smaller pool simply drains them. At
+    least one worker always exists — a pool, once requested, must be able
+    to make progress.
     """
+    num_workers = max(1, min(num_workers, max_execution_lanes() - 1))
     with _SHARED_LOCK:
         pool = _SHARED_POOLS.get(num_workers)
         if pool is None:

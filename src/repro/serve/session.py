@@ -144,7 +144,7 @@ class InferenceSession:
         for bucket in self.buckets:
             self.decoder_for(bucket)
         hits1, misses1 = self.plan_cache.counters()
-        return {
+        report = {
             "buckets": len(self.buckets),
             "plans_compiled": misses1 - misses0,
             "cache_hits": hits1 - hits0,
@@ -155,6 +155,14 @@ class InferenceSession:
             # serving plan, before the first request executes
             "verified": verification_enabled(),
         }
+        # With a persistent tuning store attached (REPRO_TUNE_DIR), warmup
+        # is the ahead-of-time load point: misses above still counted as
+        # "compiled", but their schedules, wavefront layouts, and closure
+        # bytecode came from disk — the store counters say how much.
+        store = getattr(self.plan_cache, "store", None)
+        if store is not None:
+            report["tune_store"] = store.stats()
+        return report
 
     def verify(self, threads_probe: int = 4):
         """Statically verify every bucket decoder's compiled plans.

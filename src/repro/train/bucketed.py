@@ -45,7 +45,16 @@ class BucketedTrainer:
         if not buckets:
             raise ValueError("need at least one bucket")
         self.buckets = buckets
-        self.device = device or DeviceModel()
+        if device is None:
+            # Calibrated when a tuning store has coverage; and since the
+            # shared PlanCache below attaches the same store, construction
+            # is also the ahead-of-time load point — every bucket's
+            # schedule, wavefront layout, and closure bytecode comes from
+            # disk on a warm start.
+            from repro.pgo.calibrated import default_device
+
+            device = default_device()
+        self.device = device
         store = ParamStore()
         self.params: dict[str, np.ndarray] | None = None
         self._trainers: dict[BucketSpec, Trainer] = {}

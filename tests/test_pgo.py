@@ -1,0 +1,450 @@
+"""Profile-guided tuning: calibration records, the persistent store, and
+warm-start plan loading.
+
+Durability is the point of most of these tests: a tuning directory is an
+*advisory* cache, so corruption, truncation, staleness, and concurrent
+writers must all degrade to cold-path behavior — never to a wrong plan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backends import Backend
+from repro.backends.microbench import autotune_backend, measure_lstm, pure_lstm_graph
+from repro.gpumodel import DeviceModel
+from repro.pgo import (
+    BytecodeCache,
+    CalibratedDeviceModel,
+    CalibrationDB,
+    CostRecord,
+    TuneStore,
+    default_device,
+    graph_fingerprint,
+    reset_default_stores,
+    robust_best,
+    shape_class,
+)
+from repro.pgo.harvest import harvest_training_graph
+from repro.profiler import measure_node_timings
+from repro.runtime import PlanCache
+from repro.runtime.executor import TrainingExecutor
+from repro.runtime.plancache import _UNSET, default_plan_cache
+from repro.runtime.scheduler import schedule
+
+
+@pytest.fixture
+def tune_dir(tmp_path, monkeypatch):
+    """A fresh REPRO_TUNE_DIR, isolated from other tests' default stores."""
+    d = tmp_path / "tune"
+    monkeypatch.setenv("REPRO_TUNE_DIR", str(d))
+    reset_default_stores()
+    cache = default_plan_cache()
+    monkeypatch.setattr(cache, "_store", _UNSET)
+    yield d
+    reset_default_stores()
+
+
+def small_graph():
+    graph, store = pure_lstm_graph(4, 16, 1, 3, Backend.DEFAULT)
+    params = store.initialize()
+    rng = np.random.default_rng(7)
+    feeds = {
+        "lstm_in": rng.standard_normal((3, 4, 16), dtype=np.float32)
+    }
+    return graph, params, feeds
+
+
+class TestRobustBest:
+    def test_slow_outlier_discarded(self):
+        t = robust_best([1.0, 1.02, 1.01, 1.03, 9.0])
+        assert t.seconds == 1.0
+        assert t.discarded == 1
+        assert t.stable
+
+    def test_fast_glitch_discarded(self):
+        # A below-resolution timer glitch must not become the report.
+        t = robust_best([1e-9, 1.0, 1.01, 1.02, 1.03])
+        assert t.seconds == 1.0
+        assert t.discarded == 1
+
+    def test_unstable_spread_flagged(self):
+        t = robust_best([1.0, 1.5, 2.0, 2.5, 3.0])
+        assert not t.stable
+        assert t.seconds == 1.0  # min is still reported
+
+    def test_few_samples(self):
+        t = robust_best([2.0, 2.1])
+        assert t.seconds == 2.0
+        assert t.discarded == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            robust_best([])
+
+
+class TestRecords:
+    def test_decay_sharpens(self):
+        rec = CostRecord(seconds=1.0, min_seconds=1.0)
+        for _ in range(50):
+            rec.observe(2.0, ref_seconds=0.5)
+        assert rec.seconds == pytest.approx(2.0, rel=0.01)
+        assert rec.min_seconds == 1.0
+        assert rec.count == 51
+
+    def test_merge_weighted(self):
+        a = CostRecord(seconds=1.0, weight=1.0, min_seconds=1.0)
+        b = CostRecord(seconds=3.0, weight=3.0, min_seconds=2.5)
+        m = a.merged_with(b)
+        assert m.seconds == pytest.approx(2.5)
+        assert m.count == 2
+        assert m.min_seconds == 1.0
+
+    def test_db_payload_roundtrip(self):
+        db = CalibrationDB(epoch=3)
+        db.observe("dot:g8x8x8x1", 1e-4, 1e-6)
+        db.observe("add:b40", 2e-5, 4e-7)
+        back = CalibrationDB.from_payload(db.to_payload())
+        assert back.epoch == 3
+        assert back.records.keys() == db.records.keys()
+        assert back.records["add:b40"].seconds == pytest.approx(2e-5)
+
+    def test_payload_version_mismatch_raises(self):
+        payload = CalibrationDB().to_payload()
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            CalibrationDB.from_payload(payload)
+
+    def test_shape_classes(self):
+        graph, _params, _feeds = small_graph()
+        classes = {shape_class(n) for n in schedule(graph.outputs)}
+        classes.discard(None)
+        assert any(c.split(":")[1].startswith("g") for c in classes)  # GEMMs
+        assert any(":b" in c for c in classes)  # bytes-bucketed elementwise
+        placeholder = next(
+            n for n in schedule(graph.outputs) if n.op.name == "placeholder"
+        )
+        assert shape_class(placeholder) is None
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self):
+        g1, _, _ = small_graph()
+        g2, _, _ = small_graph()
+        # Different uids, same structure: the canonical renaming must agree.
+        assert graph_fingerprint(g1.outputs) == graph_fingerprint(g2.outputs)
+
+    def test_distinguishes_shapes(self):
+        g1, _, _ = small_graph()
+        g3, _ = pure_lstm_graph(4, 32, 1, 3, Backend.DEFAULT)
+        assert graph_fingerprint(g1.outputs) != graph_fingerprint(g3.outputs)
+
+
+class TestStoreDurability:
+    def test_calibration_roundtrip(self, tmp_path):
+        ts = TuneStore(tmp_path)
+        db = CalibrationDB()
+        db.observe("dot:g8x8x8x1", 1e-4, 1e-6)
+        merged = ts.save_calibration(db)
+        assert merged.epoch == 1
+        fresh = TuneStore(tmp_path).calibration()
+        assert fresh.coverage() == 1
+        assert fresh.epoch == 1
+
+    def test_corrupted_calibration_falls_back(self, tmp_path):
+        (tmp_path / "calibration.json").write_text("{ not json !!")
+        ts = TuneStore(tmp_path)
+        assert ts.calibration().coverage() == 0
+        assert ts.stats()["load_errors"] == 1
+
+    def test_truncated_bytecode_falls_back(self, tmp_path):
+        cache = BytecodeCache(tmp_path / "bytecode.bin")
+        code = cache.compile("def body(regs):\n    pass\n")
+        assert cache.flush()
+        blob = (tmp_path / "bytecode.bin").read_bytes()
+        (tmp_path / "bytecode.bin").write_bytes(blob[: len(blob) // 2])
+        cold = BytecodeCache(tmp_path / "bytecode.bin")
+        again = cold.compile("def body(regs):\n    pass\n")
+        assert cold.load_errors == 1
+        assert cold.misses == 1  # recompiled, not served from the torn file
+        assert again.co_code == code.co_code
+
+    def test_bytecode_roundtrip_hits(self, tmp_path):
+        path = tmp_path / "bytecode.bin"
+        cache = BytecodeCache(path)
+        cache.compile("def body(regs):\n    regs[0] = 1\n")
+        cache.flush()
+        warm = BytecodeCache(path)
+        warm.compile("def body(regs):\n    regs[0] = 1\n")
+        assert warm.hits == 1 and warm.misses == 0
+
+    def test_corrupted_order_file_is_a_miss(self, tmp_path):
+        graph, _, _ = small_graph()
+        ts = TuneStore(tmp_path)
+        order = schedule(graph.outputs)
+        ts.save_order(graph.outputs, order)
+        fp = graph_fingerprint(graph.outputs)
+        path = tmp_path / "plans" / f"{fp}.order.json"
+        assert path.exists()
+        # Torn JSON -> miss; well-formed but wrong permutation -> miss.
+        path.write_text('{"version": 1, "order": [0, 1')
+        assert TuneStore(tmp_path).load_order(graph.outputs) is None
+        payload = {"version": 1, "order": list(range(len(order) - 1))}
+        path.write_text(json.dumps(payload))
+        ts3 = TuneStore(tmp_path)
+        assert ts3.load_order(graph.outputs) is None
+        assert ts3.stats()["load_errors"] == 1
+
+    def test_invalid_order_permutation_rejected(self, tmp_path):
+        """An order that breaks producer-before-consumer must not load."""
+        graph, _, _ = small_graph()
+        ts = TuneStore(tmp_path)
+        order = schedule(graph.outputs)
+        ts.save_order(graph.outputs, order)
+        fp = graph_fingerprint(graph.outputs)
+        path = tmp_path / "plans" / f"{fp}.order.json"
+        payload = json.loads(path.read_text())
+        payload["order"].reverse()  # valid permutation, invalid schedule
+        path.write_text(json.dumps(payload))
+        assert TuneStore(tmp_path).load_order(graph.outputs) is None
+
+    def test_corrupted_wavefront_artifact_is_a_miss(self, tmp_path):
+        ts = TuneStore(tmp_path)
+        token = ("Titan Xp", "analytic")
+        ts.save_wavefront("f" * 32, token, 4, True, True,
+                          {"instructions": 10, "serial": True})
+        assert ts.load_wavefront("f" * 32, token, 4, True, True) is not None
+        for path in (tmp_path / "plans").glob("*.wavefront.json"):
+            path.write_text("garbage")
+        ts2 = TuneStore(tmp_path)
+        assert ts2.load_wavefront("f" * 32, token, 4, True, True) is None
+
+    def test_concurrent_writers_both_land(self, tmp_path):
+        script = (
+            "import sys\n"
+            "from repro.pgo import CalibrationDB, TuneStore\n"
+            "db = CalibrationDB()\n"
+            "db.observe(sys.argv[2], 1e-4, 1e-6)\n"
+            "db.observe('shared:b10', float(sys.argv[3]), 1e-6)\n"
+            "TuneStore(sys.argv[1]).save_calibration(db)\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), "src") if p
+        )
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), cls, val],
+                env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+            )
+            for cls, val in (("a:b10", "1e-4"), ("b:b10", "3e-4"))
+        ]
+        for p in procs:
+            assert p.wait(timeout=120) == 0
+        db = TuneStore(tmp_path).calibration()
+        assert {"a:b10", "b:b10", "shared:b10"} <= db.records.keys()
+        assert db.epoch >= 2  # both saves bumped it
+        shared = db.records["shared:b10"]
+        assert shared.count == 2
+
+
+class TestCalibratedDevice:
+    def _db(self):
+        return CalibrationDB(epoch=2)
+
+    def test_covered_class_overrides(self):
+        graph, _, _ = small_graph()
+        node = next(
+            n for n in schedule(graph.outputs)
+            if shape_class(n) is not None
+        )
+        cls = shape_class(node)
+        analytic = DeviceModel()
+        ref = analytic.node_cost(node).kernel_seconds
+        db = self._db()
+        db.observe(cls, 100.0 * ref, ref)  # scale becomes 1/100
+        cal = CalibratedDeviceModel(db)
+        cost = cal.node_cost(node)
+        # measured * geomean(ref/measured) == ref for a single record
+        assert cost.kernel_seconds == pytest.approx(ref)
+        assert cal.calibrated_hits == 1
+        assert cost.api_seconds == analytic.node_cost(node).api_seconds
+
+    def test_uncovered_class_falls_back(self):
+        graph, _, _ = small_graph()
+        node = next(
+            n for n in schedule(graph.outputs)
+            if shape_class(n) is not None
+        )
+        cal = CalibratedDeviceModel(self._db())
+        assert (
+            cal.node_cost(node).kernel_seconds
+            == DeviceModel().node_cost(node).kernel_seconds
+        )
+        assert cal.analytic_fallbacks == 1
+
+    def test_cache_token_tracks_epoch(self):
+        assert CalibratedDeviceModel(CalibrationDB(epoch=5)).cache_token == (
+            "Titan Xp", "calibrated", 5,
+        )
+        assert DeviceModel().cache_token == ("Titan Xp", "analytic")
+
+    def test_default_device_plain_without_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TUNE_DIR", raising=False)
+        reset_default_stores()
+        dev = default_device()
+        assert type(dev) is DeviceModel
+
+    def test_default_device_calibrated_with_coverage(self, tune_dir):
+        db = CalibrationDB()
+        db.observe("dot:g8x8x8x1", 1e-4, 1e-6)
+        TuneStore(tune_dir).save_calibration(db)
+        reset_default_stores()
+        dev = default_device()
+        assert isinstance(dev, CalibratedDeviceModel)
+
+    def test_default_device_survives_corrupt_store(self, tune_dir):
+        tune_dir.mkdir(parents=True, exist_ok=True)
+        (tune_dir / "calibration.json").write_text("!corrupt!")
+        reset_default_stores()
+        dev = default_device()
+        assert type(dev) is DeviceModel  # fell back to analytical
+
+
+class TestHarvest:
+    def test_measure_node_timings(self):
+        graph, params, feeds = small_graph()
+        order = schedule(graph.outputs)
+        timings = measure_node_timings(order, feeds, params, repeats=3)
+        assert timings
+        computed = [
+            n for n in order
+            if n.op.name not in ("placeholder", "variable")
+        ]
+        assert len(timings) == len(computed)
+        assert all(t.seconds >= 0.0 for t in timings)
+        assert all(len(t.samples) == 3 for t in timings)
+
+    def test_harvest_populates_db(self):
+        graph, params, feeds = small_graph()
+        db = CalibrationDB()
+        n = harvest_training_graph(graph, feeds, params, db, repeats=2)
+        assert n > 0
+        assert db.coverage() > 0
+        assert db.model_scale() != 1.0  # host/model domains really differ
+
+
+class TestWarmPlans:
+    def test_cold_then_warm_bitwise_identical(self, tune_dir):
+        graph, params, feeds = small_graph()
+        ts = TuneStore(tune_dir)
+
+        cold_ex = TrainingExecutor(
+            graph, plan_cache=PlanCache(store=ts), threads=4
+        )
+        cold_loss, cold_grads, _ = cold_ex.run(feeds, params)
+        ts.flush_code_cache()
+        assert not cold_ex.executor.plan.wavefront_from_cache
+        stats = ts.stats()
+        assert stats["order_misses"] == 1 and stats["wavefront_misses"] == 1
+
+        # Same store, fresh in-process caches == a new process, warm disk.
+        graph2, store2 = pure_lstm_graph(4, 16, 1, 3, Backend.DEFAULT)
+        params2 = store2.initialize()
+        warm_store = TuneStore(tune_dir)
+        warm_ex = TrainingExecutor(
+            graph2, plan_cache=PlanCache(store=warm_store), threads=4
+        )
+        warm_loss, warm_grads, _ = warm_ex.run(feeds, params2)
+        wstats = warm_store.stats()
+        assert wstats["order_hits"] == 1
+        assert wstats["wavefront_hits"] == 1
+        assert wstats["bytecode_hits"] > 0 and wstats["bytecode_misses"] == 0
+        assert warm_ex.executor.plan.wavefront_from_cache
+
+        # params2 initializes identically (same seed path), so execution
+        # through the deserialized plan must be bitwise-identical.
+        assert warm_loss == cold_loss
+        for name in cold_grads:
+            np.testing.assert_array_equal(cold_grads[name], warm_grads[name])
+
+    def test_warm_plan_passes_verifier(self, tune_dir, monkeypatch):
+        graph, params, feeds = small_graph()
+        ts = TuneStore(tune_dir)
+        TrainingExecutor(graph, plan_cache=PlanCache(store=ts), threads=4)
+        ts.flush_code_cache()
+
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        graph2, _ = pure_lstm_graph(4, 16, 1, 3, Backend.DEFAULT)
+        warm_store = TuneStore(tune_dir)
+        # assert_plan_safe runs inside the builder and raises on findings;
+        # the deserialized schedule is checked against re-derived hazards.
+        warm_ex = TrainingExecutor(
+            graph2, plan_cache=PlanCache(store=warm_store), threads=4
+        )
+        assert warm_ex.executor.plan.wavefront_from_cache
+        report = warm_ex.executor.verify()
+        assert report.ok, report.findings
+
+    def test_stale_epoch_invalidates_wavefront(self, tune_dir):
+        graph, params, feeds = small_graph()
+        db = CalibrationDB()
+        harvest_training_graph(graph, feeds, params, db, repeats=1)
+        ts = TuneStore(tune_dir)
+        ts.save_calibration(db)
+
+        dev1 = default_device()
+        TrainingExecutor(
+            graph, plan_cache=PlanCache(store=ts), device=dev1, threads=4
+        )
+        assert ts.stats()["wavefront_misses"] == 1
+
+        # Recalibration bumps the epoch -> new device token -> the cached
+        # layout's filename never matches again (fresh process modeled by
+        # resetting the memoized default store).
+        ts.save_calibration(db)
+        reset_default_stores()
+        dev2 = default_device()
+        assert dev2.cache_token != dev1.cache_token
+        graph2, _ = pure_lstm_graph(4, 16, 1, 3, Backend.DEFAULT)
+        ts2 = TuneStore(tune_dir)
+        TrainingExecutor(
+            graph2, plan_cache=PlanCache(store=ts2), device=dev2, threads=4
+        )
+        stats = ts2.stats()
+        assert stats["wavefront_hits"] == 0
+        assert stats["wavefront_misses"] == 1
+
+    def test_store_none_means_no_persistence(self, tune_dir):
+        graph, _, _ = small_graph()
+        TrainingExecutor(graph, plan_cache=PlanCache(store=None), threads=4)
+        assert not (tune_dir / "plans").exists() or not any(
+            (tune_dir / "plans").iterdir()
+        )
+
+
+class TestAutotunePersistence:
+    def test_warm_autotune_reproduces_choice(self, tmp_path):
+        ts = TuneStore(tmp_path)
+        device = DeviceModel()
+        cold = autotune_backend(2, 16, 1, 3, device=device, store=ts)
+        assert ts.stats()["autotune_misses"] == 1
+        warm_store = TuneStore(tmp_path)
+        warm = autotune_backend(2, 16, 1, 3, device=device, store=warm_store)
+        assert warm_store.stats()["autotune_hits"] == 1
+        assert warm.choice is cold.choice
+        for backend, res in cold.results.items():
+            assert warm.results[backend].total_seconds == pytest.approx(
+                res.total_seconds
+            )
+
+    def test_measure_lstm_robust(self):
+        result = measure_lstm(2, 8, 1, 2, Backend.DEFAULT, repeats=3)
+        assert result.total_seconds > 0
+        assert len(result.timing.samples) == 3

@@ -189,9 +189,20 @@ class TestWorkerPool:
         finally:
             pool.close()
 
-    def test_shared_pool_identity(self):
+    def test_shared_pool_identity(self, monkeypatch):
+        # Lift the process lane budget so distinct requests stay distinct
+        # (on small hosts the clamp would collapse them into one pool).
+        monkeypatch.setenv("REPRO_THREADS", "8")
         assert shared_pool(2) is shared_pool(2)
         assert shared_pool(2) is not shared_pool(3)
+
+    def test_shared_pool_clamps_to_lane_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "3")
+        pool = shared_pool(16)
+        # 3 lanes = the caller + 2 workers; oversubscribed requests fold
+        # into the budgeted pool (run_level queues the excess chunks).
+        assert pool.num_workers == 2
+        assert shared_pool(2) is pool
 
     def test_default_thread_count_env(self, monkeypatch):
         monkeypatch.delenv("REPRO_THREADS", raising=False)
