@@ -1,6 +1,6 @@
 """Static analysis of graphs, compiled plans, and wavefront schedules.
 
-Four analyzers, each independently re-deriving an invariant the compiler
+Five analyzers, each independently re-deriving an invariant the compiler
 or a rewrite is supposed to maintain:
 
 * :func:`lint_graph` — dataflow-graph well-formedness (IR0xx);
@@ -9,9 +9,11 @@ or a rewrite is supposed to maintain:
 * :func:`check_plan_races` / :func:`check_schedule` — happens-before
   verification of wavefront schedules (RC2xx);
 * :func:`check_recompute_safety` — Echo recompute-region invariants over
-  a schedule (EC3xx).
+  a schedule (EC3xx);
+* :func:`check_packing` — memplan alias/coloring/in-place safety over
+  the lowered stream and its packing record (MP4xx).
 
-:func:`verify_plan` aggregates all four over one :class:`CompiledPlan`;
+:func:`verify_plan` aggregates all five over one :class:`CompiledPlan`;
 ``python -m repro.analysis.lint`` runs them over the benchmark models;
 ``REPRO_VERIFY=1`` wires :func:`assert_plan_safe` into every
 :class:`~repro.runtime.plancache.PlanCache` compile. DESIGN.md §8
@@ -26,6 +28,7 @@ from repro.analysis.findings import (
 )
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.lifetime import check_lifetimes
+from repro.analysis.packing import check_packing
 from repro.analysis.races import check_plan_races, check_schedule, labeled_edges
 from repro.analysis.recompute import check_recompute_safety
 from repro.analysis.verify import (
@@ -43,6 +46,7 @@ __all__ = [
     "Severity",
     "lint_graph",
     "check_lifetimes",
+    "check_packing",
     "check_plan_races",
     "check_schedule",
     "labeled_edges",

@@ -69,6 +69,10 @@ CODES: dict[str, tuple[Severity, str]] = {
     "EC306": (Severity.WARNING, "recompute mirror never drains to backward"),
     "EC307": (Severity.ERROR, "schedule orders a consumer before its producer"),
     "EC308": (Severity.ERROR, "node consumes a value outside the schedule"),
+    # -- memplan packing sanitizer (color-mode rewrites) -------------------
+    "MP401": (Severity.ERROR, "alias instruction disagrees with root table"),
+    "MP402": (Severity.ERROR, "packed placements overlap in time and bytes"),
+    "MP403": (Severity.ERROR, "unsafe in-place rewrite over a live group"),
 }
 
 

@@ -13,9 +13,11 @@ compiler recorded:
   source/constant binding) defines;
 * **LT102** — ``frees_at`` releases a slot before its recomputed last
   use (use-after-free once the storage is recycled);
-* **LT103** — two alias groups with overlapping live ranges are backed by
-  the same raw arena buffer (the silent-corruption class: a later write
-  destroys a value still to be read);
+* **LT103** — two alias groups with overlapping live ranges occupy
+  overlapping byte ranges of the same raw arena buffer (the
+  silent-corruption class: a later write destroys a value still to be
+  read; under the color memplan mode all groups share one extent, so
+  the byte ranges are what keeps them apart);
 * **LT104** — an escaping output (or source/constant) slot is backed by
   plan-static storage (outputs must survive later iterations, so they are
   acquired fresh every run by contract);
@@ -30,6 +32,8 @@ cross-plan overlap is therefore not a defect and is not reported.
 from __future__ import annotations
 
 from typing import Any
+
+from numpy.lib.array_utils import byte_bounds
 
 from repro.runtime.compiled import PlanLowering, storage_base
 
@@ -169,14 +173,19 @@ def check_lifetimes(plan: Any) -> list[Finding]:
         group_use[r] = max(group_use.get(r, use), use)
 
     end = len(descs)
-    # (base id, lo, hi, label) intervals per raw buffer.
-    intervals: dict[int, list[tuple[int, int, str]]] = {}
+    # (lo, hi, byte_lo, byte_hi, label) intervals per raw buffer. The
+    # byte bounds matter under the color memplan mode, where *every*
+    # static view is a slice of one shared extent: two groups may share
+    # the raw buffer freely as long as their byte ranges are disjoint or
+    # their live ranges are.
+    intervals: dict[int, list[tuple[int, int, int, int, str]]] = {}
     for r, view in low.static_views.items():
         if r not in group_def:
             continue
         base = id(storage_base(view))
+        blo, bhi = byte_bounds(view)
         intervals.setdefault(base, []).append(
-            (group_def[r], group_use[r], f"slot group {r}")
+            (group_def[r], group_use[r], blo, bhi, f"slot group {r}")
         )
     for idx, desc in enumerate(descs):
         if desc["kind"] != "batched":
@@ -186,27 +195,26 @@ def check_lifetimes(plan: Any) -> list[Finding]:
             if scratch is None:
                 continue
             base = id(storage_base(scratch))
+            blo, bhi = byte_bounds(scratch)
             intervals.setdefault(base, []).append(
-                (idx, end, f"{scratch_key} of instruction {idx}")
+                (idx, end, blo, bhi, f"{scratch_key} of instruction {idx}")
             )
 
     for ranges in intervals.values():
         ranges.sort()
-        # Sweep with the running latest end, so a long range is checked
-        # against every later one, not just its sort neighbor.
-        lo_a, hi_a, label_a = ranges[0]
-        for lo_b, hi_b, label_b in ranges[1:]:
-            if lo_b <= hi_a:
-                findings.append(
-                    finding(
-                        "LT103",
-                        f"{label_a} (live [{lo_a}, {hi_a}]) and {label_b} "
-                        f"(live [{lo_b}, {hi_b}]) share one raw arena "
-                        "buffer",
-                        _ANALYZER,
-                        instr=lo_b,
+        for i, (lo_a, hi_a, blo_a, bhi_a, label_a) in enumerate(ranges):
+            for lo_b, hi_b, blo_b, bhi_b, label_b in ranges[i + 1:]:
+                if lo_b > hi_a:
+                    break  # sorted by lo: nothing later overlaps a in time
+                if blo_a < bhi_b and blo_b < bhi_a:
+                    findings.append(
+                        finding(
+                            "LT103",
+                            f"{label_a} (live [{lo_a}, {hi_a}]) and "
+                            f"{label_b} (live [{lo_b}, {hi_b}]) overlap in "
+                            "one raw arena buffer",
+                            _ANALYZER,
+                            instr=lo_b,
+                        )
                     )
-                )
-            if hi_b > hi_a:
-                lo_a, hi_a, label_a = lo_b, hi_b, label_b
     return findings

@@ -6,11 +6,12 @@ Usage::
     python -m repro.analysis.lint --model nmt --json
     python -m repro.analysis.lint --model word-lm --no-echo --threads 4
     python -m repro.analysis.lint --strict --ignore IR006,EC306
+    python -m repro.analysis.lint --memplan greedy       # force a mode
 
 For each selected model the tool builds the training graph (at a reduced
 benchmark-scale configuration), optionally runs the Echo pass so the
 recompute checker has mirrored regions to verify, compiles the plan, and
-runs the four analyzers. Exit status is 1 when any *error*-severity
+runs the five analyzers. Exit status is 1 when any *error*-severity
 finding survives ``--ignore`` (``--strict`` also fails on warnings), so
 CI can gate on it. ``--json`` emits one machine-readable report object
 per model on stdout.
@@ -117,8 +118,13 @@ def lint_model(
     echo: bool = True,
     threads: int = 1,
     threads_probe: int = 4,
+    memplan: str | None = None,
 ) -> AnalysisReport:
-    """Build one benchmark model, compile its plan, run all analyzers."""
+    """Build one benchmark model, compile its plan, run all analyzers.
+
+    ``memplan`` forces the buffer-planning mode for this compile (None =
+    the ambient ``REPRO_MEMPLAN`` setting).
+    """
     graph, _desc = _MODELS[name]()
     from repro.runtime.compiled import Arena
     from repro.runtime.plancache import PlanCache
@@ -132,7 +138,7 @@ def lint_model(
         outputs = graph.outputs
         order = plan_cache.schedule_for(outputs)
         plan = plan_cache.compiled_for(
-            outputs, Arena(), order=order, threads=threads
+            outputs, Arena(), order=order, threads=threads, memplan=memplan
         )
     sources = [*graph.placeholders.values(), *graph.params.values()]
     return verify_plan(
@@ -175,6 +181,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="compile the plan for N wavefront threads (default 1)",
     )
     parser.add_argument(
+        "--memplan",
+        choices=("color", "greedy"),
+        default=None,
+        help="force the buffer-planning mode (default: REPRO_MEMPLAN)",
+    )
+    parser.add_argument(
         "--threads-probe",
         type=int,
         default=4,
@@ -210,6 +222,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             echo=args.echo,
             threads=args.threads,
             threads_probe=args.threads_probe,
+            memplan=args.memplan,
         )
         if ignore:
             report = report.without(ignore)

@@ -1,9 +1,9 @@
-"""One-call plan verification: all four analyzers over one compiled plan.
+"""One-call plan verification: all five analyzers over one compiled plan.
 
 :func:`verify_plan` is the aggregation point — graph IR lint, recompute
-safety over the schedule, arena lifetime sanity over the lowering, and
-race detection over the wavefront schedule (stored or probed) — returning
-a single :class:`AnalysisReport`. :func:`assert_plan_safe` turns an
+safety over the schedule, arena lifetime sanity over the lowering,
+memplan packing/rewrite safety, and race detection over the wavefront
+schedule (stored or probed) — returning a single :class:`AnalysisReport`. :func:`assert_plan_safe` turns an
 unclean report into a :class:`PlanVerificationError`.
 
 The opt-in runtime guard: with ``REPRO_VERIFY=1`` in the environment,
@@ -24,6 +24,7 @@ from repro.graph import Node, Tensor
 from repro.analysis.findings import AnalysisReport
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.lifetime import check_lifetimes
+from repro.analysis.packing import check_packing
 from repro.analysis.races import check_plan_races
 from repro.analysis.recompute import check_recompute_safety
 
@@ -80,7 +81,7 @@ def verify_plan(
     threads_probe: int = 4,
     sources: Sequence[Tensor] = (),
 ) -> AnalysisReport:
-    """Run all four analyzers against one compiled plan.
+    """Run all five analyzers against one compiled plan.
 
     ``outputs``/``order`` default to the plan's own; pass them explicitly
     when verifying a plan against a graph state other than the one it was
@@ -93,6 +94,7 @@ def verify_plan(
     report.extend(lint_graph(outputs, sources=sources))
     report.extend(check_recompute_safety(order, {t.key for t in outputs}))
     report.extend(check_lifetimes(plan))
+    report.extend(check_packing(plan))
     report.extend(check_plan_races(plan, threads_probe=threads_probe))
     return report
 

@@ -31,6 +31,8 @@ from repro.echo.config import EchoConfig
 from repro.echo.rewrite import AppliedCandidate, apply_candidate
 from repro.gpumodel import DeviceModel
 from repro.graph import Node, Stage
+from repro.memplan.estimate import packed_peak_bytes
+from repro.memplan.modes import memplan_mode
 from repro.runtime.memory import MemoryPlan
 from repro.runtime.plancache import PlanCache, default_plan_cache, graph_signature
 
@@ -50,6 +52,10 @@ class EchoReport:
     iteration_seconds: float = 0.0
     baseline_plan: MemoryPlan | None = None
     optimized_plan: MemoryPlan | None = None
+    #: interval-packed arena footprints (what the color planner actually
+    #: allocates); 0 when the pass ran under the greedy memplan mode
+    baseline_packed_bytes: int = 0
+    optimized_packed_bytes: int = 0
 
     @property
     def footprint_reduction(self) -> float:
@@ -110,12 +116,33 @@ class EchoPass:
         plan = self.plan_cache.plan_for(outputs, order=order)
         return order, plan
 
+    def _footprint(self, outputs, plan: MemoryPlan) -> int:
+        """The footprint the accept/reject loop scores a graph state by.
+
+        Under the greedy memplan mode this is the waterline peak
+        (``plan.peak_bytes``), matching what the size-class replay
+        allocates. Under ``color`` the executor packs buffers by exact
+        lifetime intervals, so candidates are judged by the *packed*
+        footprint — a rewrite that only shuffles bytes the packer would
+        have overlapped anyway is rolled back instead of accepted.
+        Memoized per graph signature: the rollback loop revisits states.
+        """
+        if memplan_mode() != "color":
+            return plan.peak_bytes
+        return self.plan_cache.memo(
+            ("packedpeak", graph_signature(outputs)),
+            lambda: packed_peak_bytes(plan),
+        )
+
     def run(self, graph: TrainingGraph) -> EchoReport:
         cfg = self.config
         outputs = graph.outputs
         output_keys = {t.key for t in outputs}
 
         order, baseline_plan = self._replan(outputs)
+        # Scored before any rewrite mutates the graph: the memoized packed
+        # footprint is keyed by graph signature, which the rewrites change.
+        baseline_foot = self._footprint(outputs, baseline_plan)
         # Keyed by the device's cache token (not just the spec): a
         # calibrated device embeds its calibration epoch, so recalibration
         # invalidates memoized iteration costs automatically.
@@ -226,14 +253,23 @@ class EchoPass:
 
         if not applied:
             report.optimized_plan = baseline_plan
+            if memplan_mode() == "color":
+                packed = packed_peak_bytes(baseline_plan)
+                report.baseline_packed_bytes = packed
+                report.optimized_packed_bytes = packed
             return report
 
         _new_order, new_plan = self._replan(outputs)
 
         if cfg.verify_with_replan:
             # Footprint safety: drop weakest candidates until the measured
-            # peak actually improves (or nothing is left).
-            while new_plan.peak_bytes >= baseline_plan.peak_bytes and applied:
+            # footprint actually improves (or nothing is left). Under the
+            # color memplan mode "measured" means the interval-packed arena
+            # extent, the bytes the executor will really allocate.
+            while (
+                self._footprint(outputs, new_plan) >= baseline_foot
+                and applied
+            ):
                 weakest = min(
                     range(len(applied)),
                     key=lambda i: applied[i].candidate.benefit_bytes,
@@ -255,6 +291,9 @@ class EchoPass:
         report.recompute_seconds = spent
         report.optimized_peak_bytes = new_plan.peak_bytes
         report.optimized_plan = new_plan
+        if memplan_mode() == "color":
+            report.baseline_packed_bytes = packed_peak_bytes(baseline_plan)
+            report.optimized_packed_bytes = packed_peak_bytes(new_plan)
         return report
 
 

@@ -1,0 +1,43 @@
+"""Graph-level memory optimization for compiled plans.
+
+The memory-optimization stage between scheduling and lowering: copy
+elision and in-place rewriting over the instruction stream
+(:mod:`repro.memplan.elision`), interference-interval buffer coloring
+into one contiguous arena extent (:mod:`repro.memplan.coloring`), the
+planner that orchestrates both and hands :class:`CompiledPlan` its
+buffer assignment (:mod:`repro.memplan.planner`), and the packed-peak
+estimator Echo's accept/reject loop scores candidates with
+(:mod:`repro.memplan.estimate`).
+
+Mode selection is ambient: ``REPRO_MEMPLAN=color`` (the default) runs
+the full optimizer, ``REPRO_MEMPLAN=greedy`` falls back to the PR-2
+size-class free-list replay — byte-for-byte the historical behavior and
+the bitwise reference the property tests compare against.
+"""
+
+from __future__ import annotations
+
+from repro.memplan.modes import MEMPLAN_ENV, memory_aware_default, memplan_mode
+from repro.memplan.coloring import (
+    PackResult,
+    atomic_tokens,
+    pack_intervals,
+    waterline,
+)
+from repro.memplan.estimate import packed_peak_bytes
+from repro.memplan.planner import BufferAssignment, MemplanRecord, plan_buffers
+
+
+__all__ = [
+    "BufferAssignment",
+    "MEMPLAN_ENV",
+    "MemplanRecord",
+    "PackResult",
+    "atomic_tokens",
+    "memory_aware_default",
+    "memplan_mode",
+    "pack_intervals",
+    "packed_peak_bytes",
+    "plan_buffers",
+    "waterline",
+]

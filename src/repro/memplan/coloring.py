@@ -1,0 +1,161 @@
+"""Interference-interval buffer coloring: offsets into one arena extent.
+
+Greedy size-class replay (the ``REPRO_MEMPLAN=greedy`` fallback in
+:mod:`repro.memplan.planner`) rounds every request up to a page class and
+never splits or coalesces, so the static footprint carries both rounding
+slack and free-list fragmentation. This module replaces it with classic
+interference coloring over *exact* liveness intervals: every storage
+request is an interval ``[lo, hi]`` over instruction indices plus a byte
+size, two requests interfere iff their intervals overlap, and a
+first-fit-decreasing sweep assigns each request the lowest aligned offset
+whose byte range is free for its whole lifetime. The result is one
+contiguous extent per plan whose size is the achieved peak; the
+waterline of the interval set (max live bytes at any instruction) is the
+planned lower bound, and the gap between the two is fragmentation the
+packer could not close.
+
+The first-fit scan is vectorized: placed intervals are kept in parallel
+numpy arrays, the time-overlapping subset is selected with one mask, and
+the lowest fitting gap falls out of a cumulative-max sweep over the
+overlapping byte ranges. That keeps coloring fast enough to run inside
+Echo's accept/reject loop (see :mod:`repro.memplan.estimate`), not just
+once per compile.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+#: byte alignment of every placed offset; covers any dtype itemsize the
+#: graph layer produces and keeps rows cache-line aligned
+ALIGN = 64
+
+#: one storage request: (key, first instr, last instr, nbytes);
+#: the interval is closed — [lo, hi] both occupied
+Request = tuple[Hashable, int, int, int]
+
+
+def _align_up(x: int, align: int = ALIGN) -> int:
+    return -(-x // align) * align
+
+
+@dataclass
+class PackResult:
+    """Offsets plus the two peak-bytes figures coloring reports."""
+
+    #: request key -> byte offset into the extent (zero-byte requests absent)
+    offsets: dict[Hashable, int]
+    #: achieved peak: the extent size the placement actually needs
+    extent_bytes: int
+    #: planned peak: the interval waterline (max simultaneously-live bytes),
+    #: i.e. the lower bound any placement of these intervals must respect
+    planned_peak_bytes: int
+
+
+def waterline(requests: Sequence[Request]) -> int:
+    """Max simultaneously-live bytes over the instruction stream."""
+    events: list[tuple[int, int]] = []
+    for _key, lo, hi, nbytes in requests:
+        if nbytes <= 0:
+            continue
+        events.append((lo, nbytes))
+        events.append((hi + 1, -nbytes))
+    events.sort()
+    cur = peak = 0
+    for _t, delta in events:
+        cur += delta
+        if cur > peak:
+            peak = cur
+    return peak
+
+
+def pack_intervals(
+    requests: Sequence[Request], align: int = ALIGN
+) -> PackResult:
+    """First-fit-decreasing offset assignment for interfering intervals.
+
+    Requests are placed largest-first (ties broken by start index, then
+    input order, so the result is deterministic); each takes the lowest
+    ``align``-multiple offset whose byte range does not intersect any
+    already-placed request with an overlapping lifetime.
+    """
+    live = [(k, lo, hi, nb) for (k, lo, hi, nb) in requests if nb > 0]
+    n = len(live)
+    order = sorted(range(n), key=lambda i: (-live[i][3], live[i][1], i))
+    lo_a = np.empty(n, dtype=np.int64)
+    hi_a = np.empty(n, dtype=np.int64)
+    off_a = np.empty(n, dtype=np.int64)
+    end_a = np.empty(n, dtype=np.int64)
+    offsets: dict[Hashable, int] = {}
+    extent = 0
+    count = 0
+    for i in order:
+        key, lo, hi, nbytes = live[i]
+        off = 0
+        if count:
+            mask = (lo_a[:count] <= hi) & (hi_a[:count] >= lo)
+            if mask.any():
+                starts = off_a[:count][mask]
+                ends = end_a[:count][mask]
+                by_start = np.argsort(starts, kind="stable")
+                starts = starts[by_start]
+                ends = np.maximum.accumulate(ends[by_start])
+                # Candidate cursors: offset 0, then past each blocked
+                # prefix; a gap fits when the next blocked start leaves
+                # ``nbytes`` of room (the sentinel makes "past everything"
+                # always fit).
+                cursors = np.empty(len(starts) + 1, dtype=np.int64)
+                cursors[0] = 0
+                cursors[1:] = -(-ends // align) * align
+                avail = np.empty(len(starts) + 1, dtype=np.int64)
+                avail[:-1] = starts
+                avail[-1] = np.iinfo(np.int64).max
+                fits = np.nonzero(avail - cursors >= nbytes)[0]
+                off = int(cursors[fits[0]])
+        offsets[key] = off
+        lo_a[count] = lo
+        hi_a[count] = hi
+        off_a[count] = off
+        end_a[count] = off + nbytes
+        count += 1
+        if off + nbytes > extent:
+            extent = off + nbytes
+    return PackResult(
+        offsets=offsets,
+        extent_bytes=extent,
+        planned_peak_bytes=waterline(live),
+    )
+
+
+def atomic_tokens(
+    placements: Mapping[Hashable, tuple[int, int]]
+) -> dict[Hashable, tuple[int, ...]]:
+    """Storage-hazard tokens for byte ranges sharing one extent.
+
+    With every static buffer carved from a single raw extent, the greedy
+    hazard rule — "same storage base ⇒ serialize" — would serialize the
+    whole plan. Instead the extent is cut into *atomic intervals* at every
+    placement boundary and each placement is labeled with the atoms its
+    byte range covers: two placements intersect in memory iff they share
+    an atom, so the wavefront hazard edges stay exact. ``placements`` maps
+    a key to ``(offset, nbytes)``; zero-byte entries get no tokens.
+    """
+    bounds: set[int] = set()
+    for off, nbytes in placements.values():
+        if nbytes > 0:
+            bounds.add(off)
+            bounds.add(off + nbytes)
+    cuts = sorted(bounds)
+    tokens: dict[Hashable, tuple[int, ...]] = {}
+    for key, (off, nbytes) in placements.items():
+        if nbytes <= 0:
+            tokens[key] = ()
+            continue
+        a = bisect_left(cuts, off)
+        b = bisect_left(cuts, off + nbytes)
+        tokens[key] = tuple(range(a, b))
+    return tokens

@@ -1,0 +1,31 @@
+"""Packed-footprint estimate over a node-level memory plan.
+
+Echo's accept/reject loop historically compared node-level peak live
+bytes — the sum of live tensor sizes at the worst step. With coloring in
+play the figure that actually materializes on the host is the *packed*
+extent: exact live intervals first-fit-decreasing packed, plus the
+workspace high-water mark. Fragmentation can make a candidate that wins
+on the waterline lose on the packed extent (and vice versa), so the pass
+scores candidates on the same metric the compiled plan will report.
+"""
+
+from __future__ import annotations
+
+from repro.memplan.coloring import Request, pack_intervals
+from repro.runtime.memory import MemoryPlan
+
+
+def packed_peak_bytes(plan: MemoryPlan) -> int:
+    """FFD-packed peak bytes of a node-level memory plan.
+
+    Packs every tensor lifetime's ``[alloc_step, free_step]`` interval
+    and adds the workspace pool high-water mark, mirroring what interval
+    coloring achieves for the lowered stream.
+    """
+    requests: list[Request] = []
+    for key, life in plan.lifetimes.items():
+        if life.nbytes <= 0:
+            continue
+        requests.append((key, life.alloc_step, life.free_step, life.nbytes))
+    packed = pack_intervals(requests)
+    return packed.extent_bytes + plan.workspace_pool_hwm

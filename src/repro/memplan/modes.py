@@ -1,0 +1,38 @@
+"""Memplan mode resolution: a leaf module with no intra-package imports.
+
+The runtime (``compiled``, ``scheduler``, ``plancache``) imports mode
+resolution from here rather than from the package ``__init__`` so that
+importing :mod:`repro.memplan` and :mod:`repro.runtime` in either order
+never re-enters a partially-initialized package.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: environment variable selecting the buffer-planning mode
+MEMPLAN_ENV = "REPRO_MEMPLAN"
+
+_MODES = ("color", "greedy")
+
+
+def memplan_mode(explicit: str | None = None) -> str:
+    """Resolve the buffer-planning mode: explicit arg, else environment.
+
+    Raises ``ValueError`` on an unknown mode so a typo in
+    ``REPRO_MEMPLAN`` fails loudly instead of silently changing the
+    memory planner.
+    """
+    mode = explicit
+    if mode is None:
+        mode = os.environ.get(MEMPLAN_ENV, "").strip().lower() or "color"
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown memplan mode {mode!r}: expected one of {_MODES}"
+        )
+    return mode
+
+
+def memory_aware_default() -> bool:
+    """Whether the scheduler's footprint-aware tie-break is on by default."""
+    return memplan_mode() == "color"

@@ -1,0 +1,371 @@
+"""Buffer planning for compiled plans: greedy replay or interval coloring.
+
+This is the memory-optimization stage between scheduling and lowering:
+:class:`repro.runtime.compiled.CompiledPlan` hands it the instruction
+descriptors and the slot alias-root table and gets back everything buffer
+related — releasability, the free schedule, the static buffer views, and
+(in ``color`` mode) the :class:`MemplanRecord` the analyzers and stats
+consume.
+
+Two modes, selected by ``REPRO_MEMPLAN``:
+
+* ``greedy`` — the PR-2 behavior, byte for byte: replay the arena's
+  size-class free lists at compile time, one acquire per releasable
+  produced slot, releases when the group's simulated refcount drains.
+  No rewriting, no record; kept as the fallback and the bitwise
+  reference the property tests compare against.
+
+* ``color`` (default) — run copy elision and in-place rewriting
+  (:mod:`repro.memplan.elision`) over the stream, recompute liveness
+  over the merged alias groups, and pack every releasable group's exact
+  live interval into one contiguous arena extent by first-fit-decreasing
+  coloring (:mod:`repro.memplan.coloring`). The extent is acquired from
+  the arena's extent pool and immediately parked again, so sibling plans
+  sharing an arena (the bucketed trainer) overlay one extent — footprint
+  follows the largest plan, exactly like the greedy free lists.
+
+Storage-hazard tokens: with one extent backing every static buffer, the
+wavefront executor's "same raw base" rule would serialize everything, so
+the color path labels each placement with the atomic byte-range tokens of
+:func:`repro.memplan.coloring.atomic_tokens`; two instructions conflict
+iff their placements actually intersect in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.memplan.coloring import Request, atomic_tokens, pack_intervals
+from repro.memplan.elision import elide_copies, rewrite_inplace
+
+#: storage spec of one alias group's backing buffer
+_Spec = tuple[tuple[int, ...], Any, int]
+
+
+@dataclass
+class MemplanRecord:
+    """What the color planner decided, for analyzers and plan stats.
+
+    ``placements`` maps a storage key — an alias-group root slot, or
+    ``("scratch", instr_idx, "a"|"b")`` for batched-GEMM stacking scratch
+    — to ``(first_instr, last_instr, offset, nbytes)`` within the extent.
+    """
+
+    mode: str
+    extent_bytes: int = 0
+    planned_peak_bytes: int = 0
+    placements: dict[Hashable, tuple[int, int, int, int]] = field(
+        default_factory=dict
+    )
+    #: copy-elision rewrites (see :func:`repro.memplan.elision.elide_copies`)
+    elided: list[dict[str, Any]] = field(default_factory=list)
+    #: in-place rewrites (see :func:`~repro.memplan.elision.rewrite_inplace`)
+    inplace: list[dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class BufferAssignment:
+    """Everything :class:`CompiledPlan` needs back from buffer planning."""
+
+    releasable: list[bool]
+    frees_at: dict[int, list[tuple[int, int, bool]]]
+    static_views: dict[int, np.ndarray]
+    #: color mode only; None in greedy mode
+    record: MemplanRecord | None = None
+    #: placement byte-range tokens for hazard edges (color mode only)
+    storage_tokens: dict[Hashable, tuple[int, ...]] | None = None
+    elided_copy_count: int = 0
+    inplace_write_count: int = 0
+
+
+def _liveness(
+    descs: list[dict[str, Any]],
+    root: list[int],
+    never_freed: set[int],
+    releasable: list[bool],
+) -> tuple[dict[int, int], dict[int, int],
+           dict[int, list[tuple[int, int, bool]]]]:
+    """(def_at, last_use, frees_at) over the instruction stream.
+
+    Identical to the lowering's historical liveness rules: a slot dies
+    after its last consuming instruction (or its producer if never
+    consumed); sources, constants, and outputs are never freed.
+    """
+    def_at: dict[int, int] = {}
+    last_use: dict[int, int] = {}
+    for idx, desc in enumerate(descs):
+        for s in desc["in_slots"]:
+            last_use[s] = idx
+    for idx, desc in enumerate(descs):
+        for s in desc["out_slots"]:
+            def_at.setdefault(s, idx)
+            last_use.setdefault(s, idx)
+    frees_at: dict[int, list[tuple[int, int, bool]]] = {}
+    for s, idx in last_use.items():
+        if s in never_freed:
+            continue
+        frees_at.setdefault(idx, []).append((s, root[s], releasable[root[s]]))
+    return def_at, last_use, frees_at
+
+
+def _releasability(
+    nslots: int,
+    root: list[int],
+    arena_produced: list[bool],
+    output_slots: set[int],
+) -> tuple[list[bool], dict[int, list[int]]]:
+    """A group's storage is recyclable iff arena-made and never escaping."""
+    members: dict[int, list[int]] = {}
+    for s in range(nslots):
+        members.setdefault(root[s], []).append(s)
+    releasable = [False] * nslots
+    for r, group in members.items():
+        releasable[r] = arena_produced[r] and not any(
+            m in output_slots for m in group
+        )
+    return releasable, members
+
+
+def _storage_specs(descs: list[dict[str, Any]]) -> dict[int, _Spec]:
+    """Backing-buffer spec for every arena-produced group root."""
+    specs: dict[int, _Spec] = {}
+    for desc in descs:
+        kind = desc["kind"]
+        if kind in ("out", "fused"):
+            node = desc["node"]
+            for j, s in enumerate(desc["out_slots"]):
+                spec = node.out_specs[j]
+                specs[s] = (spec.shape, spec.dtype, spec.nbytes)
+        elif kind == "batched":
+            node = desc["node"]
+            spec = node.out_specs[0]
+            group = len(desc["out_slots"])
+            specs[desc["out_slots"][0]] = (
+                (group,) + spec.shape, spec.dtype, group * spec.nbytes
+            )
+    return specs
+
+
+def _assign_batched_storage_greedy(
+    arena: Any,
+    desc: dict[str, Any],
+    releasable: list[bool],
+    static_views: dict[int, np.ndarray],
+) -> None:
+    """Arena storage for one batched group: stacked output + scratch.
+
+    The stacked result buffer joins the normal static replay (rooted at
+    the group's first slot, released when every member view dies). Input
+    stacking scratch is acquired once and never released — it is written
+    and fully consumed inside the single batched instruction, but keeping
+    it permanently owned means no other instruction can ever share its
+    pages, which keeps the storage-hazard graph sparse.
+    """
+    node = desc["node"]
+    spec = node.out_specs[0]
+    group = len(desc["out_slots"])
+    group_root = desc["out_slots"][0]
+    stacked_nbytes = group * spec.nbytes
+    if releasable[group_root] and stacked_nbytes > 0:
+        static_views[group_root] = arena.acquire(
+            (group,) + spec.shape, spec.dtype, stacked_nbytes
+        )
+    a, b = node.inputs
+    if not desc["shared_a"]:
+        desc["scratch_a"] = arena.acquire(
+            (group,) + a.shape, a.dtype, group * a.nbytes
+        )
+    if not desc["shared_b"]:
+        desc["scratch_b"] = arena.acquire(
+            (group,) + b.shape, b.dtype, group * b.nbytes
+        )
+
+
+def _plan_greedy(
+    descs: list[dict[str, Any]],
+    root: list[int],
+    nslots: int,
+    arena_produced: list[bool],
+    never_freed: set[int],
+    output_slots: set[int],
+    arena: Any,
+) -> BufferAssignment:
+    """The size-class free-list replay, byte for byte the PR-2 behavior."""
+    releasable, _members = _releasability(
+        nslots, root, arena_produced, output_slots
+    )
+    _def_at, _last_use, frees_at = _liveness(
+        descs, root, never_freed, releasable
+    )
+    static_views: dict[int, np.ndarray] = {}
+    sim_refs = [0] * nslots
+    for fs in frees_at.values():
+        for _s, r, _rel in fs:
+            sim_refs[r] += 1
+    for idx, desc in enumerate(descs):
+        if desc["kind"] in ("out", "fused"):
+            node = desc["node"]
+            for j, s in enumerate(desc["out_slots"]):
+                spec = node.out_specs[j]
+                if releasable[s] and spec.nbytes > 0:
+                    static_views[s] = arena.acquire(
+                        spec.shape, spec.dtype, spec.nbytes
+                    )
+        elif desc["kind"] == "batched":
+            _assign_batched_storage_greedy(
+                arena, desc, releasable, static_views
+            )
+        for _s, r, rel in frees_at.get(idx, ()):
+            sim_refs[r] -= 1
+            if rel and sim_refs[r] == 0:
+                view = static_views.get(r)
+                if view is not None:
+                    arena.release(view)
+    return BufferAssignment(
+        releasable=releasable,
+        frees_at=frees_at,
+        static_views=static_views,
+        record=None,
+        storage_tokens=None,
+    )
+
+
+def _plan_color(
+    descs: list[dict[str, Any]],
+    root: list[int],
+    nslots: int,
+    arena_produced: list[bool],
+    never_freed: set[int],
+    output_slots: set[int],
+    arena: Any,
+) -> BufferAssignment:
+    """Elide copies, rewrite in-place, then color exact live intervals."""
+    elided = elide_copies(descs, root, output_slots)
+    storage_specs = _storage_specs(descs)
+    inplace = rewrite_inplace(
+        descs, root, arena_produced, never_freed, storage_specs
+    )
+    releasable, members = _releasability(
+        nslots, root, arena_produced, output_slots
+    )
+    def_at, last_use, frees_at = _liveness(
+        descs, root, never_freed, releasable
+    )
+
+    end = max(len(descs) - 1, 0)
+    requests: list[Request] = []
+    specs_of: dict[Hashable, _Spec] = {}
+    for r, group in members.items():
+        if not releasable[r]:
+            continue
+        spec = storage_specs.get(r)
+        if spec is None or spec[2] <= 0:
+            continue
+        lo = def_at.get(r)
+        if lo is None:
+            continue
+        hi = max(last_use.get(m, lo) for m in group)
+        requests.append((r, lo, hi, spec[2]))
+        specs_of[r] = spec
+    for idx, desc in enumerate(descs):
+        if desc["kind"] != "batched":
+            continue
+        node = desc["node"]
+        a, b = node.inputs
+        group = len(desc["out_slots"])
+        for which, operand in (("a", a), ("b", b)):
+            if desc[f"shared_{which}"]:
+                continue
+            nbytes = group * operand.nbytes
+            if nbytes <= 0:
+                continue
+            key = ("scratch", idx, which)
+            # Scratch is owned for the plan's whole life (as in greedy):
+            # it is rewritten every iteration, so it must never time-share
+            # bytes with any other placement.
+            requests.append((key, idx, end, nbytes))
+            specs_of[key] = ((group,) + operand.shape, operand.dtype, nbytes)
+
+    packed = pack_intervals(requests)
+    extent_bytes = packed.extent_bytes
+    raw = arena.acquire_extent(extent_bytes) if extent_bytes > 0 else None
+
+    static_views: dict[int, np.ndarray] = {}
+    placements: dict[Hashable, tuple[int, int, int, int]] = {}
+    byte_ranges: dict[Hashable, tuple[int, int]] = {}
+    for key, lo, hi, nbytes in requests:
+        shape, dtype, _n = specs_of[key]
+        off = packed.offsets[key]
+        assert raw is not None
+        view = raw[off:off + nbytes].view(dtype).reshape(shape)
+        placements[key] = (lo, hi, off, nbytes)
+        byte_ranges[key] = (off, nbytes)
+        if isinstance(key, tuple):
+            _tag, idx, which = key
+            descs[idx][f"scratch_{which}"] = view
+        else:
+            static_views[key] = view
+    if raw is not None:
+        # Park the extent for sibling plans compiled against this arena;
+        # the views above keep it alive.
+        arena.release_extent(raw)
+
+    # Zero-byte scratch still needs an array for the stacked kernel view.
+    for idx, desc in enumerate(descs):
+        if desc["kind"] != "batched":
+            continue
+        node = desc["node"]
+        a, b = node.inputs
+        group = len(desc["out_slots"])
+        for which, operand in (("a", a), ("b", b)):
+            if desc[f"shared_{which}"] or desc[f"scratch_{which}"] is not None:
+                continue
+            desc[f"scratch_{which}"] = np.empty(
+                (group,) + operand.shape, dtype=operand.dtype
+            )
+
+    record = MemplanRecord(
+        mode="color",
+        extent_bytes=extent_bytes,
+        planned_peak_bytes=packed.planned_peak_bytes,
+        placements=placements,
+        elided=elided,
+        inplace=inplace,
+    )
+    return BufferAssignment(
+        releasable=releasable,
+        frees_at=frees_at,
+        static_views=static_views,
+        record=record,
+        storage_tokens=atomic_tokens(byte_ranges),
+        elided_copy_count=sum(len(e["out_slots"]) for e in elided),
+        inplace_write_count=len(inplace),
+    )
+
+
+def plan_buffers(
+    mode: str,
+    descs: list[dict[str, Any]],
+    root: list[int],
+    nslots: int,
+    arena_produced: list[bool],
+    source_slots: set[int],
+    constant_slots: set[int],
+    output_slots: set[int],
+    arena: Any,
+) -> BufferAssignment:
+    """Assign static storage for one lowered stream; may rewrite it.
+
+    ``descs``, ``root``, and ``arena_produced`` are the compiler's working
+    records and are mutated in place (color mode rewrites copies to
+    aliases and merges alias groups). The returned assignment carries the
+    free schedule and static views the closure baker consumes.
+    """
+    never_freed = set(source_slots) | set(constant_slots) | set(output_slots)
+    planner = _plan_color if mode == "color" else _plan_greedy
+    return planner(
+        descs, root, nslots, arena_produced, never_freed, output_slots, arena
+    )

@@ -297,15 +297,24 @@ class TuneStore:
                 self._fingerprints[sig] = fp
         return fp
 
-    def _order_path(self, fp: str) -> Path:
+    def _order_path(self, fp: str, flavor: str = "") -> Path:
+        # ``flavor`` separates differently-produced orders for the same
+        # graph (e.g. the memory-aware schedule vs the plain priority
+        # order) into distinct files, so switching REPRO_MEMPLAN never
+        # serves a stale permutation.
+        if flavor:
+            return self.plans_dir / f"{fp}.{_slug(flavor)}.order.json"
         return self.plans_dir / f"{fp}.order.json"
 
     def load_order(
-        self, outputs: Sequence[Tensor], sig: Hashable | None = None
+        self,
+        outputs: Sequence[Tensor],
+        sig: Hashable | None = None,
+        flavor: str = "",
     ) -> list[Node] | None:
         """A persisted schedule order, mapped onto the live graph's nodes."""
         fp = self.fingerprint_for(outputs, sig)
-        payload = self._read_json(self._order_path(fp))
+        payload = self._read_json(self._order_path(fp, flavor))
         if payload is None:
             self._bump("order_misses")
             return None
@@ -334,6 +343,7 @@ class TuneStore:
         outputs: Sequence[Tensor],
         order: Sequence[Node],
         sig: Hashable | None = None,
+        flavor: str = "",
     ) -> None:
         fp = self.fingerprint_for(outputs, sig)
         nodes = topo_order(outputs)
@@ -342,16 +352,25 @@ class TuneStore:
             perm = [index[n.uid] for n in order]
         except KeyError:
             return  # order mentions nodes outside the graph; don't persist
-        self._write_json(self._order_path(fp), {"order": perm})
+        self._write_json(self._order_path(fp, flavor), {"order": perm})
 
     # -- wavefront layouts ---------------------------------------------------
 
     def _wavefront_path(
-        self, fp: str, token: Any, threads: int, fuse: bool, batch_gemms: bool
+        self,
+        fp: str,
+        token: Any,
+        threads: int,
+        fuse: bool,
+        batch_gemms: bool,
+        memplan: str = "greedy",
     ) -> Path:
+        # The memplan mode changes slot aliasing and hazard tokens, which
+        # the wavefront layout bakes in — it is part of the artifact key.
         name = (
             f"{fp}.{device_token_string(token)}"
-            f".t{threads}.f{int(fuse)}.g{int(batch_gemms)}.wavefront.json"
+            f".t{threads}.f{int(fuse)}.g{int(batch_gemms)}"
+            f".m{_slug(memplan)}.wavefront.json"
         )
         return self.plans_dir / name
 
@@ -362,6 +381,7 @@ class TuneStore:
         threads: int,
         fuse: bool,
         batch_gemms: bool,
+        memplan: str = "greedy",
     ) -> dict[str, Any] | None:
         """The persisted wavefront artifact for one compiled-plan key.
 
@@ -369,7 +389,9 @@ class TuneStore:
         devices, so recalibration silently invalidates stale layouts (the
         old file keys never match again).
         """
-        path = self._wavefront_path(fp, token, threads, fuse, batch_gemms)
+        path = self._wavefront_path(
+            fp, token, threads, fuse, batch_gemms, memplan
+        )
         payload = self._read_json(path)
         if payload is None or "artifact" not in payload:
             self._bump("wavefront_misses")
@@ -385,10 +407,13 @@ class TuneStore:
         fuse: bool,
         batch_gemms: bool,
         artifact: dict[str, Any] | None,
+        memplan: str = "greedy",
     ) -> None:
         if artifact is None:
             return
-        path = self._wavefront_path(fp, token, threads, fuse, batch_gemms)
+        path = self._wavefront_path(
+            fp, token, threads, fuse, batch_gemms, memplan
+        )
         self._write_json(path, {"artifact": artifact})
 
     # -- autotune ------------------------------------------------------------

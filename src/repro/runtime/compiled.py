@@ -73,6 +73,8 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.graph import Node, Tensor
+from repro.memplan.modes import memplan_mode
+from repro.memplan.planner import plan_buffers
 from repro.ops.matmul import gemm_batch_key, stacked_operand
 from repro.runtime.memory import TensorKey
 from repro.runtime.pool import round_up
@@ -178,6 +180,11 @@ class Arena:
         ]
         self._locks = [threading.Lock() for _ in range(_ARENA_STRIPES)]
         self._stats_lock = threading.Lock()
+        #: parked contiguous extents for interval-colored plans; separate
+        #: from the size-class lists so a colored plan never tears a
+        #: greedy plan's page and vice versa
+        self._extents: list[np.ndarray] = []
+        self._extent_lock = threading.Lock()
         #: buffers created outside the free lists (pool misses and escaping
         #: outputs); steady-state iterations add only the run's outputs
         self.fresh_count = 0
@@ -254,13 +261,48 @@ class Arena:
         with self._locks[stripe]:
             self._stripes[stripe].setdefault(base.nbytes, []).append(arr)
 
+    def acquire_extent(self, nbytes: int) -> np.ndarray:
+        """One contiguous raw extent for an interval-colored plan.
+
+        Served from the parked-extent list when a large-enough extent is
+        available (smallest fit first — bucketed sibling plans overlay the
+        same extent, so footprint follows the largest plan, exactly like
+        the greedy free lists), else allocated fresh, page-rounded.
+        """
+        best = None
+        with self._extent_lock:
+            for i, raw in enumerate(self._extents):
+                if raw.nbytes >= nbytes and (
+                    best is None or raw.nbytes < self._extents[best].nbytes
+                ):
+                    best = i
+            if best is not None:
+                found = self._extents.pop(best)
+        if best is not None:
+            with self._stats_lock:
+                self.reuse_count += 1
+            return found
+        size = round_up(max(nbytes, 1))
+        raw = np.empty(size, dtype=np.uint8)
+        with self._stats_lock:
+            self.fresh_count += 1
+            self.fresh_bytes += size
+        return raw
+
+    def release_extent(self, raw: np.ndarray) -> None:
+        """Park an extent for reuse by later plans sharing this arena."""
+        with self._extent_lock:
+            self._extents.append(raw)
+
     @property
     def held_bytes(self) -> int:
-        """Bytes currently parked on the free lists."""
+        """Bytes currently parked on the free lists and extent list."""
         total = 0
         for stripe, lock in zip(self._stripes, self._locks):
             with lock:
                 total += sum(cls * len(b) for cls, b in stripe.items())
+        with self._extent_lock:
+            total += sum(raw.nbytes for raw in self._extents)
         return total
 
 
@@ -284,12 +326,13 @@ class PlanLowering:
     and cross-check the plan without executing it.
 
     ``descs`` entries are dicts with at least ``kind`` (``out`` /
-    ``generic`` / ``view`` / ``fused`` / ``batched``), ``node``,
-    ``in_slots`` and ``out_slots``; batched entries additionally carry
-    ``nodes``, ``a_slots``/``b_slots`` and ``scratch_a``/``scratch_b``
-    arrays. They are the compiler's own working records (shared, not
-    copied) — treat them as read-only unless deliberately corrupting a
-    fixture.
+    ``generic`` / ``view`` / ``fused`` / ``batched`` / ``alias``),
+    ``node``, ``in_slots`` and ``out_slots``; batched entries
+    additionally carry ``nodes``, ``a_slots``/``b_slots`` and
+    ``scratch_a``/``scratch_b`` arrays; alias entries (copy elision,
+    color mode) carry ``alias_index``. They are the compiler's own
+    working records (shared, not copied) — treat them as read-only
+    unless deliberately corrupting a fixture.
     """
 
     #: instruction descriptors, stream order
@@ -316,6 +359,12 @@ class PlanLowering:
     schedule: WavefrontSchedule | None = None
     #: id(raw buffer) -> nbytes for every distinct static storage base
     static_bases: dict[int, int] = field(default_factory=dict)
+    #: color-mode planning record (placements, elisions, in-place
+    #: rewrites); None for greedy plans
+    memplan: Any = None
+    #: placement byte-range hazard tokens keyed like ``memplan.placements``
+    #: (color mode); None means "fall back to id(storage base)"
+    storage_tokens: dict[Any, tuple[int, ...]] | None = None
 
 
 def build_instr_infos(
@@ -323,19 +372,29 @@ def build_instr_infos(
     root: Sequence[int],
     static_views: Mapping[int, np.ndarray],
     device: Any | None = None,
+    storage_tokens: Mapping[Any, tuple[int, ...]] | None = None,
 ) -> list[InstrInfo]:
     """Dependence-relevant facts for each instruction descriptor.
 
     Shared by the wavefront planner (``device`` set: real simulated costs
     gate parallelism) and the static race analyzer (``device`` None: zero
     costs — hazard structure only, no cost model construction).
+
+    Storage hazards are labeled by ``id(raw base)`` for greedy plans
+    (distinct buffers, distinct bases) and by placement byte-range tokens
+    for colored plans (every static buffer shares one extent, so the base
+    rule would serialize everything; the tokens record exact byte-range
+    intersection instead — see :func:`repro.memplan.coloring.atomic_tokens`).
     """
 
-    def base_of(slot: int) -> int | None:
-        view = static_views.get(root[slot])
+    def bases_of_slot(slot: int) -> tuple[int, ...]:
+        r = root[slot]
+        if storage_tokens is not None:
+            return storage_tokens.get(r, ())
+        view = static_views.get(r)
         if view is None:
-            return None
-        return id(storage_base(view))
+            return ()
+        return (id(storage_base(view)),)
 
     infos: list[InstrInfo] = []
     for idx, desc in enumerate(descs):
@@ -343,17 +402,22 @@ def build_instr_infos(
         read_bases: set[int] = set()
         write_bases: set[int] = set()
         for s in desc["in_slots"]:
-            b = base_of(s)
-            if b is not None:
-                read_bases.add(b)
-        if kind != "view":  # views touch no storage themselves
+            read_bases.update(bases_of_slot(s))
+        if kind not in ("view", "alias"):  # views touch no storage themselves
             for s in desc["out_slots"]:
-                b = base_of(s)
-                if b is not None:
-                    write_bases.add(b)
+                write_bases.update(bases_of_slot(s))
         for scratch_key in ("scratch_a", "scratch_b"):
             scratch = desc.get(scratch_key)
-            if scratch is not None:
+            if scratch is None:
+                continue
+            if storage_tokens is not None:
+                write_bases.update(
+                    storage_tokens.get(
+                        ("scratch", idx, scratch_key[-1]),
+                        (id(storage_base(scratch)),),
+                    )
+                )
+            else:
                 write_bases.add(id(storage_base(scratch)))
         if kind == "fused":
             cost_nodes = [member for _op, member, _p in desc["chain"]]
@@ -403,12 +467,17 @@ class CompiledPlan:
         device: Any | None = None,
         code_cache: Any | None = None,
         wavefront_artifact: dict[str, Any] | None = None,
+        memplan: str | None = None,
     ) -> None:
         self.order = list(order)
         self.outputs = list(outputs)
         self.arena = arena if arena is not None else Arena()
         self.fuse = fuse
         self.threads = max(1, int(threads))
+        #: buffer-planning mode: "color" (copy elision + in-place rewriting
+        #: + interval coloring, the default) or "greedy" (the PR-2
+        #: size-class replay); ambient REPRO_MEMPLAN unless passed
+        self.memplan_mode = memplan_mode(memplan)
         #: batching defaults on exactly when wavefront execution is on —
         #: the serial default path stays byte-for-byte the PR-1 plan
         self.batch_gemms = (
@@ -431,6 +500,15 @@ class CompiledPlan:
         self._pool: WorkerPool | None = None
         self._wavefront_infos: list[InstrInfo] | None = None
         self._wavefront_schedule: WavefrontSchedule | None = None
+        self._storage_tokens: dict[Any, tuple[int, ...]] | None = None
+        #: copy kernels rewritten to register-view aliases (color mode)
+        self.elided_copy_count = 0
+        #: instructions writing ``out=`` into a dying input's storage
+        self.inplace_write_count = 0
+        #: interval waterline of the colored packing (lower bound)
+        self.planned_peak_bytes = 0
+        #: achieved extent size of the colored packing
+        self.packed_extent_bytes = 0
         self._compile()
 
     # -- compilation ---------------------------------------------------------
@@ -549,67 +627,36 @@ class CompiledPlan:
                 descs, output_slots, root, arena_produced
             )
 
-        # Releasability: the group's storage may be recycled iff it came
-        # from the arena and no member escapes as an output.
-        members: dict[int, list[int]] = {}
-        for s in range(nslots):
-            members.setdefault(root[s], []).append(s)
-        releasable = [False] * nslots
-        for r, group in members.items():
-            releasable[r] = arena_produced[r] and not any(
-                m in output_slots for m in group
-            )
-
-        # Liveness over the instruction stream: free each slot after its
-        # last consuming instruction (or its producer, if never consumed).
-        # Sources, constants, and outputs live to the end of the run.
-        last_use: dict[int, int] = {}
-        for idx, desc in enumerate(descs):
-            for s in desc["in_slots"]:
-                last_use[s] = idx
-        for idx, desc in enumerate(descs):
-            for s in desc["out_slots"]:
-                last_use.setdefault(s, idx)
-        never_freed = source_slots | constant_slots | output_slots
-        frees_at: dict[int, list[tuple[int, int, bool]]] = {}
-        for s, idx in last_use.items():
-            if s in never_freed:
-                continue
-            frees_at.setdefault(idx, []).append(
-                (s, root[s], releasable[root[s]])
-            )
-
-        # Static buffer assignment: the instruction stream is identical
-        # every iteration, so the arena's alloc/free replay is done once,
-        # here. Each releasable produced slot gets a permanent shaped view;
-        # when a group's simulated refcount drains, its storage returns to
-        # the arena free lists and later slots (of this plan or another
-        # plan sharing the arena) overlay the same raw pages. Outputs and
-        # groups that escape through an output stay dynamic — they are
-        # handed to the caller every run and must never be overwritten.
-        arena = self.arena
-        static_views: dict[int, np.ndarray] = {}
-        sim_refs = [0] * nslots
-        for fs in frees_at.values():
-            for _s, r, _rel in fs:
-                sim_refs[r] += 1
-        for idx, desc in enumerate(descs):
-            if desc["kind"] in ("out", "fused"):
-                node = desc["node"]
-                for j, s in enumerate(desc["out_slots"]):
-                    spec = node.out_specs[j]
-                    if releasable[s] and spec.nbytes > 0:
-                        static_views[s] = arena.acquire(
-                            spec.shape, spec.dtype, spec.nbytes
-                        )
-            elif desc["kind"] == "batched":
-                self._assign_batched_storage(desc, releasable, static_views)
-            for s, r, rel in frees_at.get(idx, ()):
-                sim_refs[r] -= 1
-                if rel and sim_refs[r] == 0:
-                    view = static_views.get(r)
-                    if view is not None:
-                        arena.release(view)
+        # Buffer planning (repro.memplan): releasability, liveness, and
+        # static storage assignment. Greedy mode replays the arena's
+        # size-class free lists exactly as the runtime would (the PR-2
+        # behavior, byte for byte); color mode first rewrites the stream —
+        # view-equivalent copies become ``alias`` instructions, last-use
+        # in-place-capable writes take over their dying input's storage —
+        # then packs every group's exact live interval into one contiguous
+        # arena extent by first-fit-decreasing coloring. Outputs and groups
+        # that escape through an output stay dynamic in both modes — they
+        # are handed to the caller every run and must never be overwritten.
+        assignment = plan_buffers(
+            self.memplan_mode,
+            descs,
+            root,
+            nslots,
+            arena_produced,
+            source_slots,
+            constant_slots,
+            output_slots,
+            self.arena,
+        )
+        releasable = assignment.releasable
+        frees_at = assignment.frees_at
+        static_views = assignment.static_views
+        self._storage_tokens = assignment.storage_tokens
+        self.elided_copy_count = assignment.elided_copy_count
+        self.inplace_write_count = assignment.inplace_write_count
+        if assignment.record is not None:
+            self.planned_peak_bytes = assignment.record.planned_peak_bytes
+            self.packed_extent_bytes = assignment.record.extent_bytes
 
         # Per-instruction register clears: drop references to per-run
         # arrays (outputs of generic/dynamic instructions, view objects)
@@ -642,9 +689,15 @@ class CompiledPlan:
 
         inline_clears = clears_at if program_layout is None else {}
 
-        # Second pass: bake closures.
+        # Second pass: bake closures. Static buffers are looked up by
+        # alias-group *root*: greedy-produced slots are their own roots, so
+        # this is the historical behavior there, and in-place-rewritten
+        # slots (color mode) resolve to the dying input's buffer.
         steps: list[Callable[[list], None]] = []
-        stats = {"out": 0, "generic": 0, "view": 0, "fused": 0, "batched": 0}
+        stats = {
+            "out": 0, "generic": 0, "view": 0, "fused": 0, "batched": 0,
+            "alias": 0,
+        }
         for idx, desc in enumerate(descs):
             clear = inline_clears.get(idx, ())
             kind = desc["kind"]
@@ -655,13 +708,14 @@ class CompiledPlan:
                         desc["chain"],
                         desc["out_slots"][0],
                         clear,
-                        static_views.get(desc["out_slots"][0]),
+                        static_views.get(root[desc["out_slots"][0]]),
                     )
                 )
             elif kind == "batched":
                 steps.append(
                     self._make_batched_step(
-                        desc, clear, static_views.get(desc["out_slots"][0])
+                        desc, clear,
+                        static_views.get(root[desc["out_slots"][0]]),
                     )
                 )
             elif kind == "out":
@@ -671,7 +725,20 @@ class CompiledPlan:
                         desc["in_slots"],
                         desc["out_slots"],
                         clear,
-                        tuple(static_views.get(s) for s in desc["out_slots"]),
+                        tuple(
+                            static_views.get(root[s])
+                            for s in desc["out_slots"]
+                        ),
+                    )
+                )
+            elif kind == "alias":
+                steps.append(
+                    self._make_alias_step(
+                        desc["node"],
+                        desc["in_slots"],
+                        desc["out_slots"],
+                        desc["alias_index"],
+                        clear,
                     )
                 )
             elif kind == "view":
@@ -736,6 +803,8 @@ class CompiledPlan:
             infos=self._wavefront_infos,
             schedule=self._wavefront_schedule,
             static_bases=dict(raws),
+            memplan=assignment.record,
+            storage_tokens=assignment.storage_tokens,
         )
 
     def instr_infos(self) -> list[InstrInfo]:
@@ -748,7 +817,10 @@ class CompiledPlan:
         low = self.lowering
         if low.infos is not None:
             return low.infos
-        return build_instr_infos(low.descs, low.root, low.static_views)
+        return build_instr_infos(
+            low.descs, low.root, low.static_views,
+            storage_tokens=low.storage_tokens,
+        )
 
     # -- batched-GEMM pre-pass ----------------------------------------------
 
@@ -870,40 +942,6 @@ class CompiledPlan:
             rewritten.append(merged_at.get(idx, desc))
         return rewritten
 
-    def _assign_batched_storage(
-        self,
-        desc: dict[str, Any],
-        releasable: list[bool],
-        static_views: dict[int, np.ndarray],
-    ) -> None:
-        """Arena storage for one batched group: stacked output + scratch.
-
-        The stacked result buffer joins the normal static replay (rooted
-        at the group's first slot, released when every member view dies).
-        Input stacking scratch is acquired once and never released — it is
-        written and fully consumed inside the single batched instruction,
-        but keeping it permanently owned means no other instruction can
-        ever share its pages, which keeps the storage-hazard graph sparse.
-        """
-        node = desc["node"]
-        spec = node.out_specs[0]
-        group = len(desc["out_slots"])
-        group_root = desc["out_slots"][0]
-        stacked_nbytes = group * spec.nbytes
-        if releasable[group_root] and stacked_nbytes > 0:
-            static_views[group_root] = self.arena.acquire(
-                (group,) + spec.shape, spec.dtype, stacked_nbytes
-            )
-        a, b = node.inputs
-        if not desc["shared_a"]:
-            desc["scratch_a"] = self.arena.acquire(
-                (group,) + a.shape, a.dtype, group * a.nbytes
-            )
-        if not desc["shared_b"]:
-            desc["scratch_b"] = self.arena.acquire(
-                (group,) + b.shape, b.dtype, group * b.nbytes
-            )
-
     # -- wavefront program ---------------------------------------------------
 
     def _plan_program(
@@ -926,7 +964,10 @@ class CompiledPlan:
             device = default_device()
             self._device = device
 
-        infos = build_instr_infos(descs, root, static_views, device)
+        infos = build_instr_infos(
+            descs, root, static_views, device,
+            storage_tokens=self._storage_tokens,
+        )
         self._wavefront_infos = infos
 
         schedule = analyze_wavefronts(infos, self.threads)
@@ -1461,6 +1502,31 @@ class CompiledPlan:
         step = self._bake(body, env, tail, ", ".join(defaults))
         step._fused = True
         return step
+
+    def _make_alias_step(self, node, in_slots, out_slots, indices, clear):
+        """An elided copy: bind a view of the input register, run nothing.
+
+        ``indices`` has one entry per output slot — an index object
+        applied to the input (``slice_axis``, leading-axis ``split``) or
+        None for a pure rebind (identity ``concat``/``broadcast_to``,
+        full-range slice). The bound view holds exactly the values the
+        copy kernel would have produced, so downstream kernels are
+        bitwise-unchanged; only the copy's launch and its buffer are gone.
+        """
+        src = in_slots[0]
+        clear_src = "".join(f"\n    regs[{s}] = None" for s in clear)
+        env: dict = {"node": node}
+        defaults = ["_n=node"]
+        lines = []
+        for j, (o, index) in enumerate(zip(out_slots, indices)):
+            if index is None:
+                lines.append(f"    regs[{o}] = regs[{src}]")
+            else:
+                env[f"ix{j}"] = index
+                defaults.append(f"_ix{j}=ix{j}")
+                lines.append(f"    regs[{o}] = regs[{src}][_ix{j}]")
+        body = "\n".join(lines) + clear_src
+        return self._bake(body, env, node, ", ".join(defaults))
 
     def _make_view_step(self, node, in_slots, out_slots, clear):
         out_slot = out_slots[0]

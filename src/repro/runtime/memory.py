@@ -166,6 +166,7 @@ def plan_memory(
 
     live_by_cat: dict[Category, int] = defaultdict(int)
     pool_hwm = 0
+    max_ws_live = 0
     timeline: list[int] = []
     peak_bytes = -1
     peak_step = 0
@@ -178,17 +179,25 @@ def plan_memory(
         ws = node.op.workspace_bytes(node)
         pool_hwm = max(pool_hwm, ws)
 
-        live = sum(live_by_cat.values()) + pool_hwm
+        # The timeline charges each step its *own* workspace request, not
+        # the pool's running high-water mark: the pool holds the largest
+        # buffer ever requested, but those bytes only coincide with live
+        # tensors at the step that actually requests them. (The HWM itself
+        # is still reported, as ``workspace_pool_hwm``.)
+        live = sum(live_by_cat.values()) + ws
         timeline.append(live)
         for cat, nbytes in live_by_cat.items():
             if nbytes > max_by_category[cat]:
                 max_by_category[cat] = nbytes
+        ws_live = live_by_cat.get(Category.WORKSPACE, 0) + ws
+        if ws_live > max_ws_live:
+            max_ws_live = ws_live
         if live > peak_bytes:
             peak_bytes = live
             peak_step = step
             peak_by_category = dict(live_by_cat)
             peak_by_category[Category.WORKSPACE] = (
-                peak_by_category.get(Category.WORKSPACE, 0) + pool_hwm
+                peak_by_category.get(Category.WORKSPACE, 0) + ws
             )
 
         for life in free_after[step]:
@@ -205,8 +214,8 @@ def plan_memory(
         if cat not in expected:
             raise AssertionError(f"allocator leak in category {cat}")
 
-    max_by_category[Category.WORKSPACE] = (
-        max_by_category.get(Category.WORKSPACE, 0) + pool_hwm
+    max_by_category[Category.WORKSPACE] = max(
+        max_by_category.get(Category.WORKSPACE, 0), max_ws_live
     )
     return MemoryPlan(
         order=list(order),

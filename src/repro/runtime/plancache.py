@@ -24,6 +24,7 @@ import os
 
 from repro.graph import Tensor
 from repro.graph.traversal import topo_order
+from repro.memplan.modes import memory_aware_default, memplan_mode
 from repro.runtime.compiled import Arena, CompiledPlan
 from repro.runtime.memory import Category, MemoryPlan, TensorKey, plan_memory
 from repro.runtime.scheduler import schedule
@@ -140,22 +141,35 @@ class PlanCache:
 
     # -- planning artifacts --------------------------------------------------
 
-    def schedule_for(self, outputs: Sequence[Tensor]) -> list:
-        """Cached ``schedule(outputs)``; returns a fresh list each call."""
+    def schedule_for(
+        self,
+        outputs: Sequence[Tensor],
+        memory_aware: bool | None = None,
+    ) -> list:
+        """Cached ``schedule(outputs)``; returns a fresh list each call.
+
+        ``memory_aware`` (None = ambient memplan mode) is part of the memo
+        key and of the persisted-order flavor: the footprint tie-break and
+        the plain priority order are different permutations of the same
+        graph and must never be served for each other.
+        """
+        if memory_aware is None:
+            memory_aware = memory_aware_default()
         sig = graph_signature(outputs)
+        flavor = "memaware" if memory_aware else ""
 
         def build() -> list:
             store = self.store
             if store is not None:
-                cached = store.load_order(outputs, sig)
+                cached = store.load_order(outputs, sig, flavor)
                 if cached is not None:
                     return cached
-            order = schedule(outputs)
+            order = schedule(outputs, memory_aware=memory_aware)
             if store is not None:
-                store.save_order(outputs, order, sig)
+                store.save_order(outputs, order, sig, flavor)
             return order
 
-        order = self.memo(("schedule", sig), build)
+        order = self.memo(("schedule", sig, memory_aware), build)
         return list(order)
 
     def plan_for(
@@ -171,8 +185,11 @@ class PlanCache:
             if pinned_categories
             else ()
         )
+        # When no order is supplied, one is derived from the ambient
+        # memory-aware setting — which therefore keys the plan.
+        ambient = memory_aware_default() if order is None else None
         return self.memo(
-            ("memory", sig, pinned_key),
+            ("memory", sig, pinned_key, ambient),
             lambda: plan_memory(
                 order if order is not None else schedule(outputs),
                 outputs,
@@ -189,19 +206,22 @@ class PlanCache:
         threads: int = 1,
         batch_gemms: bool | None = None,
         device: Any | None = None,
+        memplan: str | None = None,
     ) -> CompiledPlan:
         """Cached :class:`CompiledPlan` for (graph, arena, thread config).
 
         Keyed by ``id(arena)``/``id(device)`` — safe because the cached
         plan holds references to both, so the ids cannot be recycled while
-        the entry lives. Thread count and batching are part of the key: a
-        serial and a wavefront-parallel plan for the same graph are
-        different lowered programs and coexist in the cache.
+        the entry lives. Thread count, batching, and the memplan mode are
+        part of the key: a serial and a wavefront-parallel plan for the
+        same graph are different lowered programs and coexist in the
+        cache, as do a greedy-planned and a color-planned one.
         """
         sig = graph_signature(outputs)
+        mode = memplan_mode(memplan)
         key = (
             "compiled", sig, id(arena), fuse, threads, batch_gemms,
-            id(device) if device is not None else None,
+            id(device) if device is not None else None, mode,
         )
         def build() -> CompiledPlan:
             store = self.store
@@ -226,7 +246,7 @@ class PlanCache:
                         token = (getattr(spec, "name", "custom"), "analytic")
                     fp = store.fingerprint_for(outputs, sig)
                     artifact = store.load_wavefront(
-                        fp, token, threads, fuse, bg
+                        fp, token, threads, fuse, bg, mode
                     )
             plan = CompiledPlan(
                 order if order is not None else schedule(outputs),
@@ -238,13 +258,14 @@ class PlanCache:
                 device=resolved_device,
                 code_cache=code_cache,
                 wavefront_artifact=artifact,
+                memplan=mode,
             )
             if store is not None:
                 if fp is not None:
                     fresh = plan.wavefront_artifact()
                     if fresh is not None:
                         store.save_wavefront(
-                            fp, token, threads, fuse, bg, fresh
+                            fp, token, threads, fuse, bg, fresh, mode
                         )
                 store.flush_code_cache()
             _maybe_verify(plan)
