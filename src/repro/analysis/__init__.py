@@ -1,7 +1,7 @@
 """Static analysis of graphs, compiled plans, and wavefront schedules.
 
-Five analyzers, each independently re-deriving an invariant the compiler
-or a rewrite is supposed to maintain:
+Six analyzer families, each independently re-deriving an invariant the
+compiler or a rewrite is supposed to maintain:
 
 * :func:`lint_graph` — dataflow-graph well-formedness (IR0xx);
 * :func:`check_lifetimes` — arena slot liveness vs. the compiled plan's
@@ -11,7 +11,9 @@ or a rewrite is supposed to maintain:
 * :func:`check_recompute_safety` — Echo recompute-region invariants over
   a schedule (EC3xx);
 * :func:`check_packing` — memplan alias/coloring/in-place safety over
-  the lowered stream and its packing record (MP4xx).
+  the lowered stream and its packing record (MP4xx);
+* :func:`check_bucket_plan` / :func:`check_rank_layouts` — distributed
+  gradient-bucket coverage and cross-rank layout agreement (DS5xx).
 
 :func:`verify_plan` aggregates all five over one :class:`CompiledPlan`;
 ``python -m repro.analysis.lint`` runs them over the benchmark models;
@@ -26,6 +28,7 @@ from repro.analysis.findings import (
     Finding,
     Severity,
 )
+from repro.analysis.distcheck import check_bucket_plan, check_rank_layouts
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.lifetime import check_lifetimes
 from repro.analysis.packing import check_packing
@@ -45,6 +48,8 @@ __all__ = [
     "Finding",
     "Severity",
     "lint_graph",
+    "check_bucket_plan",
+    "check_rank_layouts",
     "check_lifetimes",
     "check_packing",
     "check_plan_races",

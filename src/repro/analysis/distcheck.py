@@ -1,0 +1,183 @@
+"""Distributed bucket-coverage checker (DS5xx).
+
+Independently re-derives the invariants :func:`repro.dist.bucketing.\
+plan_grad_buckets` is supposed to maintain, the same way the lifetime
+and race analyzers re-derive the compiler's: a
+:class:`~repro.dist.bucketing.GradBucketPlan` is only sound if
+
+* every trainable parameter appears in exactly one bucket segment
+  (DS501 missing / DS502 duplicated) — a missed parameter trains on
+  *local* gradients and the ranks silently diverge;
+* within each bucket, segments tile the flat buffer without overlap or
+  overflow and match the bucket dtype (DS503);
+* each segment's shape/dtype agrees with the model's parameter spec
+  (DS504) — a transposed shape would scatter reduced values into the
+  wrong elements;
+* no bucket exceeds the configured cap, except a single oversized
+  parameter that cannot be split (DS505, warning: correct but defeats
+  overlap granularity);
+* all ranks agree on the layout fingerprint (DS506) — the runtime
+  all-gathers fingerprints at startup; :func:`check_rank_layouts` makes
+  the same judgement statically, e.g. over fingerprints collected from
+  logs of a crashed cohort.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.findings import Finding, finding
+
+if TYPE_CHECKING:  # typing only: dist sits above the analysis layer
+    from repro.dist.bucketing import GradBucketPlan
+
+__all__ = ["check_bucket_plan", "check_rank_layouts"]
+
+_ANALYZER = "distcheck"
+
+
+def check_bucket_plan(
+    plan: "GradBucketPlan",
+    specs: Mapping[str, tuple[tuple[int, ...], str]],
+) -> list[Finding]:
+    """Check one rank's bucket plan against the model's parameter specs.
+
+    ``specs`` maps every trainable parameter name to ``(shape, dtype)``
+    — the same table the planner consumed, re-supplied here so the
+    checker validates the *output* against the source of truth rather
+    than trusting the plan's own copy.
+    """
+    findings: list[Finding] = []
+
+    seen: dict[str, int] = {}
+    for bucket in plan.buckets:
+        for seg in bucket.segments:
+            seen[seg.name] = seen.get(seg.name, 0) + 1
+    for name in specs:
+        if name not in seen:
+            findings.append(
+                finding(
+                    "DS501",
+                    f"parameter {name!r} is in no bucket — its gradient "
+                    "would stay rank-local and the replicas would diverge",
+                    _ANALYZER,
+                    node=name,
+                )
+            )
+    for name, count in seen.items():
+        if count > 1:
+            findings.append(
+                finding(
+                    "DS502",
+                    f"parameter {name!r} appears in {count} segments — "
+                    "it would be reduced (and divided) more than once",
+                    _ANALYZER,
+                    node=name,
+                )
+            )
+        if name not in specs:
+            findings.append(
+                finding(
+                    "DS504",
+                    f"segment {name!r} does not name a trainable parameter",
+                    _ANALYZER,
+                    node=name,
+                )
+            )
+
+    for bucket in plan.buckets:
+        cursor = 0
+        for seg in bucket.segments:
+            if seg.dtype != bucket.dtype:
+                findings.append(
+                    finding(
+                        "DS503",
+                        f"bucket {bucket.index}: segment {seg.name!r} is "
+                        f"{seg.dtype}, bucket buffer is {bucket.dtype}",
+                        _ANALYZER,
+                        node=seg.name,
+                        instr=bucket.index,
+                    )
+                )
+            if seg.offset != cursor:
+                findings.append(
+                    finding(
+                        "DS503",
+                        f"bucket {bucket.index}: segment {seg.name!r} at "
+                        f"offset {seg.offset}, expected {cursor} — segments "
+                        "overlap or leave a gap",
+                        _ANALYZER,
+                        node=seg.name,
+                        instr=bucket.index,
+                    )
+                )
+            cursor = max(cursor, seg.offset + seg.size)
+            spec = specs.get(seg.name)
+            if spec is not None:
+                shape, dtype = spec
+                if tuple(shape) != seg.shape or str(
+                    np.dtype(dtype)
+                ) != seg.dtype:
+                    findings.append(
+                        finding(
+                            "DS504",
+                            f"segment {seg.name!r} declares "
+                            f"{seg.shape}/{seg.dtype}, model says "
+                            f"{tuple(shape)}/{np.dtype(dtype)}",
+                            _ANALYZER,
+                            node=seg.name,
+                            instr=bucket.index,
+                        )
+                    )
+        if cursor != bucket.elements:
+            findings.append(
+                finding(
+                    "DS503",
+                    f"bucket {bucket.index}: segments cover {cursor} "
+                    f"elements of a {bucket.elements}-element buffer",
+                    _ANALYZER,
+                    instr=bucket.index,
+                )
+            )
+        if bucket.nbytes > plan.bucket_bytes and len(bucket.segments) > 1:
+            findings.append(
+                finding(
+                    "DS505",
+                    f"bucket {bucket.index}: {bucket.nbytes} bytes exceeds "
+                    f"the {plan.bucket_bytes}-byte cap with "
+                    f"{len(bucket.segments)} segments — overlap granularity "
+                    "suffers",
+                    _ANALYZER,
+                    instr=bucket.index,
+                )
+            )
+    return findings
+
+
+def check_rank_layouts(
+    fingerprints: Mapping[int, str] | Sequence[str],
+) -> list[Finding]:
+    """Compare per-rank layout fingerprints; divergence is DS506.
+
+    Accepts ``{rank: fingerprint}`` or a list indexed by rank. The
+    lowest rank's layout is taken as the reference (matching the
+    runtime, where the leader's view wins).
+    """
+    if not isinstance(fingerprints, Mapping):
+        fingerprints = dict(enumerate(fingerprints))
+    if not fingerprints:
+        return []
+    ranks = sorted(fingerprints)
+    reference = fingerprints[ranks[0]]
+    return [
+        finding(
+            "DS506",
+            f"rank {rank}: bucket layout {fingerprints[rank][:12]}… "
+            f"diverges from rank {ranks[0]}'s {reference[:12]}…",
+            _ANALYZER,
+        )
+        for rank in ranks[1:]
+        if fingerprints[rank] != reference
+    ]

@@ -73,6 +73,13 @@ CODES: dict[str, tuple[Severity, str]] = {
     "MP401": (Severity.ERROR, "alias instruction disagrees with root table"),
     "MP402": (Severity.ERROR, "packed placements overlap in time and bytes"),
     "MP403": (Severity.ERROR, "unsafe in-place rewrite over a live group"),
+    # -- distributed bucket-coverage checker -------------------------------
+    "DS501": (Severity.ERROR, "trainable parameter is never reduced"),
+    "DS502": (Severity.ERROR, "parameter reduced more than once"),
+    "DS503": (Severity.ERROR, "bucket segments overlap or overflow"),
+    "DS504": (Severity.ERROR, "segment shape/dtype disagrees with the model"),
+    "DS505": (Severity.WARNING, "bucket exceeds the configured byte cap"),
+    "DS506": (Severity.ERROR, "bucket layout fingerprint diverges across ranks"),
 }
 
 

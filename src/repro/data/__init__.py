@@ -1,4 +1,4 @@
-"""Synthetic datasets and corpus metadata (DESIGN.md S11)."""
+"""Synthetic datasets, corpus metadata, and data-parallel sharding."""
 
 from repro.data.bucketing import (
     BucketedTranslationBatches,
@@ -7,6 +7,7 @@ from repro.data.bucketing import (
     default_buckets,
     pad_to_bucket,
 )
+from repro.data.sharding import ShardedBatches, shard_feeds
 from repro.data.speech import SpeechTask, exact_match_rate
 from repro.data.corpora import IWSLT15_EN_VI, PTB, WIKITEXT2, CorpusSpec, TranslationSpec
 from repro.data.synthetic import (
@@ -26,6 +27,7 @@ __all__ = [
     "TranslationTask", "batches",
     "BucketSpec", "default_buckets", "bucket_for", "pad_to_bucket",
     "BucketedTranslationBatches",
+    "shard_feeds", "ShardedBatches",
     "SpeechTask", "exact_match_rate",
     "CorpusSpec", "TranslationSpec", "PTB", "WIKITEXT2", "IWSLT15_EN_VI",
 ]

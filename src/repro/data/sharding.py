@@ -1,0 +1,91 @@
+"""Deterministic shard-by-rank splitting of batch feeds.
+
+Data parallelism needs every rank to see a *disjoint, agreed* slice of
+each global batch. This module does that as pure indexing: rank ``r``
+of ``world`` takes the ``r``-th contiguous block along the batch axis.
+No RNG, no hashing — the shard a rank receives is a pure function of
+``(feeds, world, rank)``, so re-running a step (the degrade path's
+retry) or replaying in a single process (the bitwise reference in
+:func:`repro.dist.trainer.data_parallel_reference`) sees exactly the
+same bytes.
+
+Axis convention follows the repo's feeds: sequence feeds are
+``[T x B]`` (batch is axis 1), per-sample vectors are ``[B]`` (axis 0).
+``batch_axes`` overrides per feed name when a model deviates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["shard_feeds", "ShardedBatches"]
+
+
+def _batch_axis(name: str, arr: np.ndarray,
+                batch_axes: Mapping[str, int] | None) -> int:
+    if batch_axes and name in batch_axes:
+        return batch_axes[name]
+    return 1 if arr.ndim >= 2 else 0
+
+
+def shard_feeds(
+    feeds: Mapping[str, np.ndarray],
+    world: int,
+    rank: int,
+    batch_axes: Mapping[str, int] | None = None,
+) -> dict[str, np.ndarray]:
+    """Rank ``rank``'s contiguous block of every feed's batch axis.
+
+    The global batch must divide evenly by ``world`` — silent remainder
+    dropping would make "N-rank equals 1-rank on the same global batch"
+    quietly false, so uneven batches raise instead.
+    """
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    if rank not in range(world):
+        raise ValueError(f"rank {rank} outside world of {world}")
+    out: dict[str, np.ndarray] = {}
+    for name, value in feeds.items():
+        arr = np.asarray(value)
+        axis = _batch_axis(name, arr, batch_axes)
+        size = arr.shape[axis]
+        if size % world:
+            raise ValueError(
+                f"feed {name!r}: batch axis {axis} has {size} samples, "
+                f"not divisible by world size {world}"
+            )
+        shard = size // world
+        index = [slice(None)] * arr.ndim
+        index[axis] = slice(rank * shard, (rank + 1) * shard)
+        # Contiguous copy: the executor binds feeds by value and the
+        # channels would otherwise pickle a strided view's whole base.
+        out[name] = np.ascontiguousarray(arr[tuple(index)])
+    return out
+
+
+class ShardedBatches:
+    """Iterate a global batch stream as one rank's shard stream.
+
+    Wraps any iterable of feed dicts (the synthetic corpora, the
+    bucketed iterators from :mod:`repro.data.bucketing`) so every rank
+    walks the *same* global batches in the same order, each keeping its
+    own slice — the standard "sharded sampler" shape.
+    """
+
+    def __init__(
+        self,
+        batches: Iterable[Mapping[str, np.ndarray]],
+        world: int,
+        rank: int,
+        batch_axes: Mapping[str, int] | None = None,
+    ) -> None:
+        self.batches = batches
+        self.world = world
+        self.rank = rank
+        self.batch_axes = dict(batch_axes) if batch_axes else None
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        for feeds in self.batches:
+            yield shard_feeds(feeds, self.world, self.rank, self.batch_axes)

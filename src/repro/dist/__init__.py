@@ -1,0 +1,84 @@
+"""Distributed data-parallel training: deterministic ring collectives,
+gradient bucketing with backward overlap, and fault-tolerant rings.
+
+Layering (each module only reaches down):
+
+* :mod:`~repro.dist.wire`, :mod:`~repro.dist.channels` — messages and
+  point-to-point transports (in-memory deques, multiprocessing pipes);
+* :mod:`~repro.dist.group` — ring membership, generations, timeouts,
+  the re-form (degrade) protocol;
+* :mod:`~repro.dist.collectives` — ring all-reduce / all-gather /
+  broadcast / barrier with one canonical, chunk-independent reduction
+  order (bitwise equal to :func:`~repro.dist.collectives.\
+reference_allreduce`);
+* :mod:`~repro.dist.bucketing` — flat gradient buckets;
+* :mod:`~repro.dist.launch` — thread / process backends;
+* :mod:`~repro.dist.trainer` — :class:`DistributedTrainer` and the
+  single-process bitwise baseline.
+"""
+
+from repro.dist.bucketing import (
+    DEFAULT_BUCKET_BYTES,
+    BucketSegment,
+    GradBucket,
+    GradBucketPlan,
+    plan_grad_buckets,
+)
+from repro.dist.collectives import (
+    DEFAULT_CHUNK_BYTES,
+    allreduce_named,
+    barrier,
+    reference_allreduce,
+    ring_allgather,
+    ring_allreduce,
+    ring_broadcast,
+)
+from repro.dist.group import (
+    DEFAULT_TIMEOUT_S,
+    CollectiveTimeout,
+    DistError,
+    PeerGone,
+    ProcessGroup,
+    ProtocolError,
+    RankEvicted,
+)
+from repro.dist.launch import (
+    DistWorkerError,
+    create_thread_groups,
+    run_distributed,
+)
+from repro.dist.stats import DistStats
+from repro.dist.trainer import (
+    DistributedTrainer,
+    calibrate_shared,
+    data_parallel_reference,
+)
+
+__all__ = [
+    "DEFAULT_BUCKET_BYTES",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_TIMEOUT_S",
+    "BucketSegment",
+    "CollectiveTimeout",
+    "DistError",
+    "DistStats",
+    "DistWorkerError",
+    "DistributedTrainer",
+    "GradBucket",
+    "GradBucketPlan",
+    "PeerGone",
+    "ProcessGroup",
+    "ProtocolError",
+    "RankEvicted",
+    "allreduce_named",
+    "barrier",
+    "calibrate_shared",
+    "create_thread_groups",
+    "data_parallel_reference",
+    "plan_grad_buckets",
+    "reference_allreduce",
+    "ring_allgather",
+    "ring_allreduce",
+    "ring_broadcast",
+    "run_distributed",
+]

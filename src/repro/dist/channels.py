@@ -1,0 +1,116 @@
+"""Point-to-point channels under the distributed process group.
+
+Both backends expose the same contract: a full mesh of FIFO, typed
+channels — one per ordered ``(src, dst)`` rank pair — carrying small
+python objects and numpy arrays. Collectives only ever talk to ring
+neighbours, but the mesh is built up front because the fault-tolerance
+protocol (:meth:`repro.dist.group.ProcessGroup.reform`) needs any
+survivor to reach any other survivor once the ring is broken.
+
+* :class:`ThreadChannel` — an in-process deque + condition variable.
+  Arrays are copied on send so a sender mutating its buffer after the
+  fact (the all-reduce accumulates in place) can never alias a
+  receiver's view. Fast, deterministic, and debuggable: the backend the
+  test suite leans on.
+* :class:`PipeChannel` — a ``multiprocessing`` connection between two
+  real processes. Pickling copies arrays inherently; ``poll(timeout)``
+  provides the recv timeout and a closed peer surfaces as
+  :class:`ChannelClosed` (the OS closes the fd when a rank dies, even
+  ungracefully).
+
+A channel carries *messages*, not raw bytes: tuples tagged by the group
+layer with ``(generation, seq, tag)`` headers. Channels know nothing
+about the headers beyond transporting them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["ChannelClosed", "ChannelTimeout", "ThreadChannel", "PipeChannel"]
+
+
+class ChannelTimeout(Exception):
+    """No message arrived within the deadline."""
+
+
+class ChannelClosed(Exception):
+    """The peer's end of the channel is gone (rank death or shutdown)."""
+
+
+class ThreadChannel:
+    """One-directional FIFO between two rank *threads* in one process."""
+
+    def __init__(self) -> None:
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def send(self, message: Any) -> None:
+        from repro.dist.wire import copy_message
+
+        with self._cond:
+            if self._closed:
+                raise ChannelClosed("channel closed")
+            # Copy arrays now: the sender reuses its accumulation buffers.
+            self._items.append(copy_message(message))
+            self._cond.notify()
+
+    def recv(self, timeout: float | None = None) -> Any:
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            ):
+                raise ChannelTimeout(f"no message within {timeout}s")
+            if self._items:
+                return self._items.popleft()
+            raise ChannelClosed("peer closed the channel")
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class PipeChannel:
+    """One *end* of a duplex ``multiprocessing`` pipe between two ranks.
+
+    Each unordered rank pair shares one duplex pipe; each process keeps
+    its own end, so the pair provides both directions of the mesh.
+    Send failures on a dead peer (``BrokenPipeError``) and EOF on recv
+    both normalize to :class:`ChannelClosed` — the caller treats them
+    identically as "that rank is gone".
+    """
+
+    def __init__(self, conn: Any) -> None:
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, message: Any) -> None:
+        try:
+            with self._lock:
+                self._conn.send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer pipe broken: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> Any:
+        try:
+            if timeout is not None and not self._conn.poll(timeout):
+                raise ChannelTimeout(f"no message within {timeout}s")
+            return self._conn.recv()
+        except EOFError as exc:
+            raise ChannelClosed("peer closed the pipe") from exc
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer pipe broken: {exc}") from exc
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass

@@ -1,0 +1,249 @@
+"""Ring collectives with a fixed, canonical reduction order.
+
+**Why the order matters.** Float addition is not associative, so "the
+sum of per-rank gradients" is not one number — it is one number *per
+summation order*. The classic rotated ring all-reduce (reduce-scatter +
+all-gather) reduces chunk ``c`` along the ring walk starting at rank
+``c+1``: deterministic, but a *different* order per chunk, so the result
+depends on the chunking and can never equal a plain serial sum bitwise.
+
+This implementation pins one canonical order instead: **every chunk is
+reduced in ascending ring position** — ``((x₀ + x₁) + x₂) + …`` — by
+rooting the reduction at position 0 and pipelining chunks along the
+ring (position 0 streams its chunks right; each position adds its own
+contribution and forwards; the last position holds the full sums and
+streams them back around). Consequences:
+
+* the result is bitwise identical across runs, backends, thread counts,
+  and — crucially — **chunk sizes**, because elementwise addition order
+  is the same no matter where the chunk boundaries fall;
+* the result equals :func:`reference_allreduce`, a five-line serial
+  fold, which is what the single-process data-parallel baseline uses —
+  so "N-rank training matches 1-rank training bitwise" is checkable;
+* per-rank traffic stays the ring-optimal ~2·S bytes (each rank sends
+  every byte at most twice); the price is one extra ring latency term
+  versus the rotated variant, irrelevant at gradient sizes.
+
+``op="mean"`` divides the completed sum by the live-rank count on every
+rank *after* the ring finishes, with the same dtype-preserving
+expression everywhere (including the reference), keeping the mean
+bitwise identical too. The degrade path gets its loss re-weighting for
+free: after a reform shrinks the ring to K survivors, ``mean`` divides
+by K.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.dist.group import ProcessGroup
+
+__all__ = [
+    "DEFAULT_CHUNK_BYTES",
+    "ring_allreduce",
+    "ring_allgather",
+    "ring_broadcast",
+    "barrier",
+    "reference_allreduce",
+    "allreduce_named",
+]
+
+#: default all-reduce chunk granularity (pipelining quantum)
+DEFAULT_CHUNK_BYTES = 1 << 16
+
+
+def _chunk_slices(size: int, itemsize: int, chunk_bytes: int) -> list[slice]:
+    """Contiguous chunk slices over a flat array of ``size`` elements."""
+    elems = max(1, int(chunk_bytes) // max(1, itemsize))
+    return [slice(lo, min(lo + elems, size)) for lo in range(0, size, elems)]
+
+
+def _apply_mean(total: np.ndarray, count: int) -> np.ndarray:
+    """Divide by the rank count, identically on every rank and in the
+    serial reference (same expression → same rounding → same bits)."""
+    np.divide(total, total.dtype.type(count), out=total)
+    return total
+
+
+def ring_allreduce(
+    group: ProcessGroup,
+    array: np.ndarray,
+    op: str = "sum",
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    timeout_s: float | None = None,
+) -> np.ndarray:
+    """All-reduce ``array`` over the live ring; returns a new array.
+
+    Every rank must pass the same shape and dtype. The reduction order
+    is canonical (ascending ring position, chunk-independent); see the
+    module docstring. ``op`` is ``"sum"`` or ``"mean"``.
+    """
+    if op not in ("sum", "mean"):
+        raise ValueError(f"unsupported op {op!r}")
+    group.stats.on_collective(f"allreduce_{op}")
+    k = group.live_size
+    flat = np.ascontiguousarray(array).reshape(-1)
+    if k == 1:
+        out = flat.copy()
+        if op == "mean":
+            _apply_mean(out, 1)
+        return out.reshape(array.shape)
+
+    seq = group.next_seq()
+    pos, right, left = group.position, group.right, group.left
+    slices = _chunk_slices(flat.size, flat.itemsize, chunk_bytes)
+    out = np.empty_like(flat)
+
+    # Reduce pass: partial sums flow position 0 -> K-1, each position
+    # adding its contribution in ring order (the canonical fold).
+    for c, sl in enumerate(slices):
+        if pos == 0:
+            group.send(right, seq, ("ar", c, "red"), flat[sl])
+        else:
+            part = group.recv(left, seq, ("ar", c, "red"), timeout_s)
+            np.add(part, flat[sl], out=part)
+            if pos < k - 1:
+                group.send(right, seq, ("ar", c, "red"), part)
+            else:
+                out[sl] = part
+
+    # Broadcast pass: the full sums flow K-1 -> 0 -> ... -> K-2.
+    for c, sl in enumerate(slices):
+        if pos == k - 1:
+            group.send(right, seq, ("ar", c, "bc"), out[sl])
+        else:
+            chunk = group.recv(left, seq, ("ar", c, "bc"), timeout_s)
+            out[sl] = chunk
+            if pos < k - 2:
+                group.send(right, seq, ("ar", c, "bc"), chunk)
+
+    if op == "mean":
+        _apply_mean(out, k)
+    return out.reshape(array.shape)
+
+
+def reference_allreduce(
+    arrays: Sequence[np.ndarray], op: str = "sum"
+) -> np.ndarray:
+    """The serial fold the ring reproduces bitwise: ``((a₀+a₁)+a₂)+…``.
+
+    ``arrays`` must be ordered by ring position (ascending surviving
+    rank). This is the single-process baseline distributed training is
+    compared against.
+    """
+    if op not in ("sum", "mean"):
+        raise ValueError(f"unsupported op {op!r}")
+    if not arrays:
+        raise ValueError("need at least one array")
+    acc = np.array(arrays[0], copy=True)
+    for contribution in arrays[1:]:
+        np.add(acc, contribution, out=acc)
+    if op == "mean":
+        _apply_mean(acc.reshape(-1), len(arrays))
+    return acc
+
+
+def ring_allgather(
+    group: ProcessGroup,
+    array: np.ndarray,
+    timeout_s: float | None = None,
+) -> dict[int, np.ndarray]:
+    """Gather every live rank's array; returns ``{rank: array}``.
+
+    Pure data movement (no arithmetic): each rank's piece travels K-1
+    hops around the ring. Shapes may differ across ranks.
+    """
+    group.stats.on_collective("allgather")
+    k = group.live_size
+    gathered: dict[int, np.ndarray] = {group.rank: np.array(array, copy=True)}
+    if k == 1:
+        return gathered
+    seq = group.next_seq()
+    current = gathered[group.rank]
+    for step in range(k - 1):
+        group.send(group.right, seq, ("ag", step), current)
+        current = group.recv(group.left, seq, ("ag", step), timeout_s)
+        source = group.neighbor(-(step + 1))
+        gathered[source] = current
+    return gathered
+
+
+def ring_broadcast(
+    group: ProcessGroup,
+    array: np.ndarray | None,
+    root: int = 0,
+    timeout_s: float | None = None,
+) -> np.ndarray:
+    """Broadcast ``array`` from ``root`` (a live rank) around the ring."""
+    if root not in group.live:
+        raise ValueError(f"root {root} is not a live rank {group.live}")
+    group.stats.on_collective("broadcast")
+    k = group.live_size
+    if k == 1:
+        return np.array(array, copy=True)
+    seq = group.next_seq()
+    root_pos = group.live.index(root)
+    distance = (group.position - root_pos) % k
+    if distance == 0:
+        value = np.asarray(array)
+        group.send(group.right, seq, ("bc",), value)
+        return np.array(value, copy=True)
+    value = group.recv(group.left, seq, ("bc",), timeout_s)
+    if distance < k - 1:
+        group.send(group.right, seq, ("bc",), value)
+    return value
+
+
+def barrier(group: ProcessGroup, timeout_s: float | None = None) -> None:
+    """Two full laps of a token around the ring.
+
+    After lap one, every rank has entered the barrier; after lap two,
+    every rank knows that, and may leave.
+    """
+    group.stats.on_collective("barrier")
+    if group.live_size == 1:
+        return
+    seq = group.next_seq()
+    for lap in (0, 1):
+        tag = ("bar", lap)
+        if group.position == 0:
+            group.send(group.right, seq, tag, None)
+            group.recv(group.left, seq, tag, timeout_s)
+        else:
+            group.recv(group.left, seq, tag, timeout_s)
+            group.send(group.right, seq, tag, None)
+
+
+def allreduce_named(
+    group: ProcessGroup,
+    arrays: Mapping[str, np.ndarray],
+    op: str = "sum",
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    timeout_s: float | None = None,
+) -> dict[str, np.ndarray]:
+    """All-reduce a named family of arrays as one flat ring transfer.
+
+    Concatenation order is the sorted key order — fixed on every rank —
+    so the result is a pure function of the values, not of dict
+    insertion history. Convenience for callers without a bucket plan.
+    """
+    keys = sorted(arrays)
+    flats = [np.ascontiguousarray(arrays[k]).reshape(-1) for k in keys]
+    if not flats:
+        return {}
+    dtype = flats[0].dtype
+    if any(f.dtype != dtype for f in flats):
+        raise ValueError("all arrays must share one dtype")
+    packed = np.concatenate(flats)
+    reduced = ring_allreduce(
+        group, packed, op=op, chunk_bytes=chunk_bytes, timeout_s=timeout_s
+    )
+    out: dict[str, np.ndarray] = {}
+    offset = 0
+    for key in keys:
+        size = int(np.prod(arrays[key].shape, dtype=np.int64))
+        out[key] = reduced[offset:offset + size].reshape(arrays[key].shape)
+        offset += size
+    return out

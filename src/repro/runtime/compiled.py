@@ -498,6 +498,9 @@ class CompiledPlan:
         self.generic_alloc_count = 0
         self._alloc_lock = threading.Lock() if self.threads > 1 else None
         self._pool: WorkerPool | None = None
+        #: program item finalizing each slot's value (wavefront plans);
+        #: drives the level-completion hook consumers key overlap off of
+        self._item_of_slot: dict[int, int] = {}
         self._wavefront_infos: list[InstrInfo] | None = None
         self._wavefront_schedule: WavefrontSchedule | None = None
         self._storage_tokens: dict[Any, tuple[int, ...]] | None = None
@@ -1145,6 +1148,16 @@ class CompiledPlan:
             for i in idxs:
                 item_of[i] = item_idx
 
+        # Which program item finalizes each written slot: consumers of the
+        # level-completion hook (distributed gradient overlap) use this to
+        # know when an output register may be read mid-run.
+        self._item_of_slot = {}
+        for idx, desc in enumerate(descs):
+            for s in desc["out_slots"]:
+                self._item_of_slot[s] = max(
+                    self._item_of_slot.get(s, -1), item_of[idx]
+                )
+
         clear_slots: set[int] = set()
         for slots in clears_at.values():
             clear_slots.update(slots)
@@ -1586,12 +1599,51 @@ class CompiledPlan:
 
     # -- execution -----------------------------------------------------------
 
+    @property
+    def program_item_count(self) -> int:
+        """Number of level-completion hook firings per run (>= 1)."""
+        return len(self._program) if self._program is not None else 1
+
+    def output_ready_items(self) -> list[int]:
+        """For each plan output, the program item after which its register
+        holds the final value.
+
+        Serial plans (no wavefront program) run as one body, so every
+        output is item ``0`` — the hook fires once, at the end. Consumers
+        overlapping work with execution (distributed gradient reduction)
+        compare these indices against the hook's item argument; output
+        registers are pinned, never recycled (LT104), so reading one
+        after its item completes is safe while later items execute.
+        """
+        if self._program is None:
+            return [0] * len(self._output_slots)
+        return [
+            self._item_of_slot.get(s, 0) for s in self._output_slots
+        ]
+
+    def output_value(self, regs: list, index: int) -> np.ndarray:
+        """Read plan output ``index`` from a live register file.
+
+        For hook consumers: valid once ``output_ready_items()[index]``
+        has retired (the register is pinned thereafter).
+        """
+        return regs[self._output_slots[index]]
+
     def run(
         self,
         feeds: Mapping[str, np.ndarray] | None = None,
         params: Mapping[str, np.ndarray] | None = None,
+        on_item: Any | None = None,
     ) -> list[np.ndarray]:
-        """Execute one iteration; returns the output arrays."""
+        """Execute one iteration; returns the output arrays.
+
+        ``on_item(item_index, regs)`` — the level-completion hook — is
+        invoked after each program item (serial segment or parallel
+        level) retires, with the live register file. Hook consumers may
+        *read* registers whose finalizing item has passed (see
+        :meth:`output_ready_items`) but must never write any; exceptions
+        propagate and abort the run.
+        """
         feeds = feeds or {}
         params = params or {}
         regs = self._template[:]
@@ -1599,21 +1651,41 @@ class CompiledPlan:
             regs[slot] = bind_source(
                 feeds if kind == "placeholder" else params, node, kind
             )
+        hook_error: list[BaseException] = []
+
+        def fire(item_idx: int) -> None:
+            try:
+                on_item(item_idx, regs)
+            except BaseException as exc:
+                # Remember it: hook failures must reach the caller as-is
+                # (the distributed trainer dispatches on them), not be
+                # re-attributed to a kernel by the replay below.
+                hook_error.append(exc)
+                raise
+
         try:
             if self._program is None:
                 self._body(regs)
+                if on_item is not None:
+                    fire(0)
             else:
                 pool = self._pool
-                for kind, payload, clears in self._program:
+                for item_idx, (kind, payload, clears) in enumerate(
+                    self._program
+                ):
                     if kind == "serial":
                         payload(regs)
                     else:
                         pool.run_level(payload, regs)
                         for s in clears:
                             regs[s] = None
+                    if on_item is not None:
+                        fire(item_idx)
         except ExecutionError:
             raise
         except Exception as first:
+            if hook_error:
+                raise
             # Slow path, failures only: re-execute step by step from fresh
             # registers to attribute the failure to a node. Kernels are
             # deterministic (dropout is counter-based on the already-set

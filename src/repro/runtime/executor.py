@@ -170,15 +170,19 @@ class GraphExecutor:
         feeds: Mapping[str, np.ndarray] | None = None,
         params: Mapping[str, np.ndarray] | None = None,
         collect_timings: bool = False,
+        on_item: Any | None = None,
     ) -> RunResult:
         """Execute one iteration through the compiled plan.
 
         ``feeds`` maps placeholder node names to arrays; ``params`` maps
         variable node names to arrays. Missing bindings raise.
+        ``on_item`` is the plan's level-completion hook (see
+        :meth:`CompiledPlan.run`), used to overlap work — distributed
+        gradient reduction — with the tail of execution.
         """
         set_global_step(self._iteration)
         self._iteration += 1
-        out_arrays = self.plan.run(feeds, params)
+        out_arrays = self.plan.run(feeds, params, on_item=on_item)
         timings: list[NodeTiming] = []
         if collect_timings and self.device is not None:
             if self._run_timings is None:
@@ -337,9 +341,10 @@ class TrainingExecutor:
         feeds: Mapping[str, np.ndarray],
         params: Mapping[str, np.ndarray],
         collect_timings: bool = False,
+        on_item: Any | None = None,
     ) -> tuple[float, dict[str, np.ndarray], RunResult]:
         """Execute one iteration; returns (loss, grads-by-name, raw result)."""
-        result = self.executor.run(feeds, params, collect_timings)
+        result = self.executor.run(feeds, params, collect_timings, on_item)
         loss = float(result.outputs[0])
         grads = {
             name: result.outputs[1 + i]

@@ -2,12 +2,19 @@
 
 Long NMT trainings (the paper trains to a target BLEU over hours) need
 restartable state; this covers parameters, optimizer bookkeeping that
-lives in numpy arrays, and the trainer's clock.
+lives in numpy arrays, the trainer's clock, and the executor's
+iteration counter (which seeds the dropout masks — without it a resumed
+run replays step-0 masks and diverges from the uninterrupted run).
+
+Writes are atomic: the archive lands in a same-directory temp file and
+is ``os.replace``-d into place, so a crash mid-save leaves the previous
+checkpoint intact instead of a truncated npz.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import numpy as np
@@ -38,13 +45,25 @@ def save_checkpoint(path: str | pathlib.Path, trainer: Trainer) -> None:
         "trainer_step": len(trainer.history),
         "samples": trainer._samples,
         "sim_seconds": trainer._sim_clock,
+        # Dropout masks are seeded by the executor iteration (the global
+        # step); resuming must continue the sequence, not replay it.
+        "executor_iteration": trainer.executor.executor._iteration,
     }
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode(), dtype=np.uint8
     )
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def load_checkpoint(path: str | pathlib.Path, trainer: Trainer) -> dict:
@@ -93,4 +112,9 @@ def load_checkpoint(path: str | pathlib.Path, trainer: Trainer) -> dict:
     opt._step = meta["optimizer_step"]
     trainer._samples = meta["samples"]
     trainer._sim_clock = meta["sim_seconds"]
+    # Older checkpoints (pre executor_iteration) assumed one executor run
+    # per trainer step, which holds for the plain Trainer.
+    trainer.executor.executor._iteration = meta.get(
+        "executor_iteration", meta["trainer_step"]
+    )
     return meta

@@ -142,3 +142,59 @@ class TestCheckpointing:
         record = b.step(self._feeds(9))
         assert record.samples_seen == 5 * 4
         assert record.sim_seconds > 4 * b.iteration_seconds * 0.99
+
+    def _dropout_trainer(self):
+        cfg = WordLmConfig(
+            vocab_size=40, embed_size=8, hidden_size=8, num_layers=1,
+            seq_len=5, batch_size=4, dropout=0.2,
+        )
+        model = build_word_lm(cfg)
+        return Trainer(model.graph, model.store.initialize(), Adam(1e-2))
+
+    def test_resume_with_dropout_is_bitwise_identical(self, tmp_path):
+        """A resumed run must continue the dropout mask *sequence*.
+
+        Masks are seeded by the executor iteration; the checkpoint
+        persists it (``executor_iteration``). Without that, a resumed
+        trainer replays the step-0 masks and its losses diverge from the
+        uninterrupted run on the very first post-resume step.
+        """
+        a = self._dropout_trainer()
+        for i in range(3):
+            a.step(self._feeds(i))
+        save_checkpoint(tmp_path / "d.npz", a)
+        tail = [a.step(self._feeds(10 + i)) for i in range(3)]
+
+        b = self._dropout_trainer()
+        meta = load_checkpoint(tmp_path / "d.npz", b)
+        assert meta["executor_iteration"] == 3
+        for i, expect in enumerate(tail):
+            record = b.step(self._feeds(10 + i))
+            assert record.loss == expect.loss
+        for name in a.params:
+            np.testing.assert_array_equal(a.params[name], b.params[name])
+
+    def test_save_is_atomic(self, tmp_path):
+        """No temp droppings, and a failed save preserves the old file."""
+        a = self._trainer(SGD(0.1))
+        a.step(self._feeds(0))
+        path = tmp_path / "atomic.npz"
+        save_checkpoint(path, a)
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+        before = path.read_bytes()
+
+        # A crash mid-write (simulated: a param whose array conversion
+        # raises) must leave the previous checkpoint byte-identical and
+        # clean up its temp file.
+        class _Explodes:
+            def __array__(self, dtype=None, copy=None):
+                raise RuntimeError("simulated crash mid-save")
+
+        a.params["__bad__"] = _Explodes()
+        try:
+            with pytest.raises(RuntimeError, match="mid-save"):
+                save_checkpoint(path, a)
+        finally:
+            del a.params["__bad__"]
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.npz"]
+        assert path.read_bytes() == before
