@@ -102,3 +102,52 @@ def test_verify_overhead_bound(save_result):
         f"verification too slow: {verify_seconds:.3f}s vs compile "
         f"{compile_seconds:.3f}s + iteration {iter_seconds:.3f}s"
     )
+
+
+def test_equiv_certification_overhead(save_result):
+    """The ``REPRO_VERIFY=full`` tier: certification <= 50% of compile.
+
+    Symbolic equivalence certification hash-conses both sides of every
+    rewrite once per expression, so it must stay linear in the stream —
+    comfortably cheaper than the compile it certifies. Measured on the
+    same Echo-rewritten NMT plan as the basic-tier bound.
+    """
+    from repro.analysis.equiv import check_equivalence
+    from repro.echo.pass_ import EchoPass
+    from repro.runtime import GraphExecutor
+
+    model = build_nmt(CONFIG)
+    graph = model.graph
+    plan_cache = PlanCache()
+    EchoPass(plan_cache=plan_cache).run(graph)
+    outputs = graph.outputs
+    order = plan_cache.schedule_for(outputs)
+
+    compile_seconds = _best_of(
+        lambda: PlanCache().compiled_for(outputs, Arena(), order=order)
+    )
+
+    executor = GraphExecutor(outputs, plan_cache=plan_cache, threads=1)
+
+    def certify():
+        assert check_equivalence(executor.plan) == []
+
+    certify_seconds = _best_of(certify)
+    ratio = certify_seconds / compile_seconds
+    save_result(
+        "equiv_certification_overhead",
+        "\n".join(
+            [
+                "REPRO_VERIFY=full certification (NMT + Echo, per miss)",
+                f"  compile plan : {compile_seconds * 1e3:8.2f} ms",
+                f"  certify plan : {certify_seconds * 1e3:8.2f} ms "
+                f"({100 * ratio:.1f}% of compile)",
+            ]
+        ),
+    )
+    # The tier's acceptance bar, with a small absolute cushion for CI
+    # timer noise on sub-100ms compiles.
+    assert certify_seconds < 0.5 * compile_seconds + 0.05, (
+        f"certification too slow: {certify_seconds:.3f}s vs "
+        f"{compile_seconds:.3f}s compile"
+    )

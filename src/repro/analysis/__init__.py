@@ -1,6 +1,6 @@
 """Static analysis of graphs, compiled plans, and wavefront schedules.
 
-Six analyzer families, each independently re-deriving an invariant the
+Seven analyzer families, each independently re-deriving an invariant the
 compiler or a rewrite is supposed to maintain:
 
 * :func:`lint_graph` — dataflow-graph well-formedness (IR0xx);
@@ -13,13 +13,20 @@ compiler or a rewrite is supposed to maintain:
 * :func:`check_packing` — memplan alias/coloring/in-place safety over
   the lowered stream and its packing record (MP4xx);
 * :func:`check_bucket_plan` / :func:`check_rank_layouts` — distributed
-  gradient-bucket coverage and cross-rank layout agreement (DS5xx).
+  gradient-bucket coverage and cross-rank layout agreement (DS5xx);
+* :func:`check_equivalence` — translation validation: symbolic
+  equivalence certification of the whole rewrite pipeline against the
+  source graph, driven by per-pass rewrite witnesses (EQ6xx).
 
-:func:`verify_plan` aggregates all five over one :class:`CompiledPlan`;
-``python -m repro.analysis.lint`` runs them over the benchmark models;
-``REPRO_VERIFY=1`` wires :func:`assert_plan_safe` into every
-:class:`~repro.runtime.plancache.PlanCache` compile. DESIGN.md §8
-documents the finding-code catalog and how to add a check.
+:func:`verify_plan` aggregates the plan-level families over one
+:class:`CompiledPlan` (``equiv=True`` adds the certifier);
+``python -m repro.analysis.lint`` runs them over the benchmark models
+(``--equiv`` for the full tier); ``REPRO_VERIFY=1`` wires
+:func:`assert_plan_safe` into every
+:class:`~repro.runtime.plancache.PlanCache` compile and
+``REPRO_VERIFY=full`` adds equivalence certification. DESIGN.md §8
+documents the finding-code catalog and how to add a check; §12 the
+witness format and normalization rules.
 """
 
 from repro.analysis.findings import (
@@ -29,6 +36,11 @@ from repro.analysis.findings import (
     Severity,
 )
 from repro.analysis.distcheck import check_bucket_plan, check_rank_layouts
+from repro.analysis.equiv import (
+    check_equivalence,
+    certify_outputs,
+    fingerprint_outputs,
+)
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.lifetime import check_lifetimes
 from repro.analysis.packing import check_packing
@@ -38,8 +50,17 @@ from repro.analysis.verify import (
     PlanVerificationError,
     assert_plan_safe,
     verification_enabled,
+    verification_tier,
     verify_graph,
     verify_plan,
+)
+from repro.analysis.witness import (
+    AliasWitness,
+    BatchWitness,
+    FusionWitness,
+    InplaceWitness,
+    MirrorWitness,
+    WitnessSet,
 )
 
 __all__ = [
@@ -56,9 +77,19 @@ __all__ = [
     "check_schedule",
     "labeled_edges",
     "check_recompute_safety",
+    "check_equivalence",
+    "certify_outputs",
+    "fingerprint_outputs",
     "PlanVerificationError",
     "assert_plan_safe",
     "verification_enabled",
+    "verification_tier",
     "verify_graph",
     "verify_plan",
+    "AliasWitness",
+    "BatchWitness",
+    "FusionWitness",
+    "InplaceWitness",
+    "MirrorWitness",
+    "WitnessSet",
 ]

@@ -80,6 +80,14 @@ CODES: dict[str, tuple[Severity, str]] = {
     "DS504": (Severity.ERROR, "segment shape/dtype disagrees with the model"),
     "DS505": (Severity.WARNING, "bucket exceeds the configured byte cap"),
     "DS506": (Severity.ERROR, "bucket layout fingerprint diverges across ranks"),
+    # -- symbolic equivalence certifier (translation validation) -----------
+    "EQ601": (Severity.ERROR, "lowered value disagrees with the source graph"),
+    "EQ602": (Severity.ERROR, "rewrite carries no justifying witness"),
+    "EQ603": (Severity.ERROR, "witness fails shape/dtype/member checks"),
+    "EQ604": (Severity.ERROR, "in-place redirect changes an observable value"),
+    "EQ605": (Severity.ERROR, "alias view witness fails its range check"),
+    "EQ606": (Severity.ERROR, "reordering crosses an RNG-clock boundary"),
+    "EQ607": (Severity.ERROR, "recompute mirror is not equivalent to original"),
 }
 
 
@@ -188,11 +196,38 @@ class AnalysisReport:
             [f for f in self.findings if f.code not in drop]
         )
 
+    def canonical(self) -> list[Finding]:
+        """Deduplicated findings in a byte-deterministic order.
+
+        Sorted by (code, node, instr, slot, message) so two runs over the
+        same inputs serialize identically and CI diffs of ``lint --json``
+        output are meaningful. Exact duplicates (same analyzer reached
+        the same conclusion twice, e.g. once per bucket) collapse.
+        """
+        def key(f: Finding) -> tuple[Any, ...]:
+            return (
+                f.code,
+                f.node if f.node is not None else "",
+                f.instr if f.instr is not None else -1,
+                f.slot if f.slot is not None else -1,
+                f.message,
+            )
+
+        unique: dict[tuple[Any, ...], Finding] = {}
+        for f in self.findings:
+            unique.setdefault((*key(f), f.analyzer, f.severity.value), f)
+        return sorted(unique.values(), key=key)
+
     def to_dict(self) -> dict[str, Any]:
+        ordered = self.canonical()
         return {
-            "errors": len(self.errors),
-            "warnings": len(self.warnings),
-            "findings": [f.to_dict() for f in self.findings],
+            "errors": sum(
+                1 for f in ordered if f.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for f in ordered if f.severity is Severity.WARNING
+            ),
+            "findings": [f.to_dict() for f in ordered],
         }
 
     def to_json(self, indent: int | None = None) -> str:

@@ -7,14 +7,18 @@ Usage::
     python -m repro.analysis.lint --model word-lm --no-echo --threads 4
     python -m repro.analysis.lint --strict --ignore IR006,EC306
     python -m repro.analysis.lint --memplan greedy       # force a mode
+    python -m repro.analysis.lint --equiv --strict       # + certification
+    python -m repro.analysis.lint --list-codes           # code catalog
 
 For each selected model the tool builds the training graph (at a reduced
 benchmark-scale configuration), optionally runs the Echo pass so the
 recompute checker has mirrored regions to verify, compiles the plan, and
-runs the five analyzers. Exit status is 1 when any *error*-severity
+runs the analyzers (``--equiv`` adds the symbolic equivalence
+certifier). Exit status is 1 when any *error*-severity
 finding survives ``--ignore`` (``--strict`` also fails on warnings), so
 CI can gate on it. ``--json`` emits one machine-readable report object
-per model on stdout.
+per model on stdout, deduplicated and stable-sorted so equal runs are
+byte-identical and CI diffs are meaningful.
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import os
 import sys
 from typing import Any, Callable, Sequence
 
-from repro.analysis.findings import AnalysisReport
+from repro.analysis.findings import CODES, AnalysisReport
 from repro.analysis.verify import verify_plan
 
 #: model name -> builder returning (TrainingGraph, description). Builders
@@ -113,12 +117,28 @@ def _guard_suppressed():
             os.environ["REPRO_VERIFY"] = saved
 
 
+def list_codes() -> str:
+    """One table of every analyzer code, from the single CODES registry.
+
+    The registry is the source of truth the analyzers themselves build
+    findings from (:func:`repro.analysis.findings.finding` looks up the
+    default severity there), so this listing cannot drift from behavior.
+    """
+    lines = [f"{'code':6s} {'severity':8s} meaning",
+             f"{'-' * 6} {'-' * 8} {'-' * 7}"]
+    for code in sorted(CODES):
+        severity, meaning = CODES[code]
+        lines.append(f"{code:6s} {severity.value:8s} {meaning}")
+    return "\n".join(lines)
+
+
 def lint_model(
     name: str,
     echo: bool = True,
     threads: int = 1,
     threads_probe: int = 4,
     memplan: str | None = None,
+    equiv: bool = False,
 ) -> AnalysisReport:
     """Build one benchmark model, compile its plan, run all analyzers.
 
@@ -147,6 +167,7 @@ def lint_model(
         order=order,
         threads_probe=threads_probe,
         sources=sources,
+        equiv=equiv,
     )
 
 
@@ -194,6 +215,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "probe on serial plans (default 4)",
     )
     parser.add_argument(
+        "--equiv",
+        action="store_true",
+        help="additionally run the symbolic equivalence certifier (EQ6xx)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print the finding-code catalog and exit",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON reports",
@@ -211,6 +242,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.list_codes:
+        print(list_codes())
+        return 0
+
     ignore = tuple(c.strip() for c in args.ignore.split(",") if c.strip())
     names = sorted(_MODELS) if args.model == "all" else [args.model]
 
@@ -223,6 +258,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             threads=args.threads,
             threads_probe=args.threads_probe,
             memplan=args.memplan,
+            equiv=args.equiv,
         )
         if ignore:
             report = report.without(ignore)

@@ -1,17 +1,21 @@
-"""One-call plan verification: all five analyzers over one compiled plan.
+"""One-call plan verification: every analyzer family over one compiled plan.
 
 :func:`verify_plan` is the aggregation point — graph IR lint, recompute
 safety over the schedule, arena lifetime sanity over the lowering,
-memplan packing/rewrite safety, and race detection over the wavefront
-schedule (stored or probed) — returning a single :class:`AnalysisReport`. :func:`assert_plan_safe` turns an
-unclean report into a :class:`PlanVerificationError`.
+memplan packing/rewrite safety, race detection over the wavefront
+schedule (stored or probed), and (``equiv=True``) symbolic equivalence
+certification of the whole rewrite pipeline — returning a single
+:class:`AnalysisReport`. :func:`assert_plan_safe` turns an unclean report
+into a :class:`PlanVerificationError`.
 
-The opt-in runtime guard: with ``REPRO_VERIFY=1`` in the environment,
-:class:`repro.runtime.plancache.PlanCache` calls :func:`assert_plan_safe`
-on every plan it compiles (cache misses only — verification is itself
-memoized by the cache's build-once contract), so a full test run or a
-serving warmup statically verifies every plan it touches before the first
-iteration executes.
+The opt-in runtime guard has two tiers. With ``REPRO_VERIFY=1`` in the
+environment, :class:`repro.runtime.plancache.PlanCache` calls
+:func:`assert_plan_safe` on every plan it compiles (cache misses only —
+verification is itself memoized by the cache's build-once contract), so a
+full test run or a serving warmup statically verifies every plan it
+touches before the first iteration executes. ``REPRO_VERIFY=full`` (or
+``equiv``) additionally runs the translation-validation certifier
+(:mod:`repro.analysis.equiv`) on each compile.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.graph import Node, Tensor
 
+from repro.analysis.equiv import check_equivalence
 from repro.analysis.findings import AnalysisReport
 from repro.analysis.ir_lint import lint_graph
 from repro.analysis.lifetime import check_lifetimes
@@ -31,6 +36,7 @@ from repro.analysis.recompute import check_recompute_safety
 __all__ = [
     "PlanVerificationError",
     "verification_enabled",
+    "verification_tier",
     "verify_graph",
     "verify_plan",
     "assert_plan_safe",
@@ -54,9 +60,27 @@ class PlanVerificationError(RuntimeError):
         self.report = report
 
 
+#: values of REPRO_VERIFY selecting the full (equivalence) tier
+_FULL = ("full", "equiv")
+
+
+def verification_tier() -> str | None:
+    """The ``REPRO_VERIFY`` tier: None (off), ``"basic"``, or ``"full"``.
+
+    ``full``/``equiv`` adds symbolic equivalence certification on top of
+    the five safety analyzers; any other truthy value selects ``basic``.
+    """
+    raw = os.environ.get(VERIFY_ENV, "").strip().lower()
+    if raw in _FULL:
+        return "full"
+    if raw in _TRUTHY:
+        return "basic"
+    return None
+
+
 def verification_enabled() -> bool:
     """Whether the ``REPRO_VERIFY`` compile-time guard is switched on."""
-    return os.environ.get(VERIFY_ENV, "").strip().lower() in _TRUTHY
+    return verification_tier() is not None
 
 
 def verify_graph(
@@ -80,13 +104,17 @@ def verify_plan(
     order: Sequence[Node] | None = None,
     threads_probe: int = 4,
     sources: Sequence[Tensor] = (),
+    equiv: bool = False,
 ) -> AnalysisReport:
-    """Run all five analyzers against one compiled plan.
+    """Run the analyzer families against one compiled plan.
 
     ``outputs``/``order`` default to the plan's own; pass them explicitly
     when verifying a plan against a graph state other than the one it was
     compiled from. ``sources`` feeds the IR linter's unused-source check
     (bindings the plan never consumes are invisible to reachability).
+    ``equiv=True`` adds the symbolic equivalence certifier (EQ6xx) — the
+    translation-validation tier, proving the lowered stream denotes the
+    source graph's function.
     """
     outputs = plan.outputs if outputs is None else list(outputs)
     order = plan.order if order is None else list(order)
@@ -96,6 +124,10 @@ def verify_plan(
     report.extend(check_lifetimes(plan))
     report.extend(check_packing(plan))
     report.extend(check_plan_races(plan, threads_probe=threads_probe))
+    if equiv:
+        report.extend(
+            check_equivalence(plan, outputs=outputs, order=order)
+        )
     return report
 
 
@@ -105,6 +137,7 @@ def assert_plan_safe(
     order: Sequence[Node] | None = None,
     threads_probe: int = 4,
     ignore: Iterable[str] = (),
+    equiv: bool = False,
 ) -> AnalysisReport:
     """Verify ``plan`` and raise :class:`PlanVerificationError` on errors.
 
@@ -112,7 +145,8 @@ def assert_plan_safe(
     the returned report is the filtered one.
     """
     report = verify_plan(
-        plan, outputs=outputs, order=order, threads_probe=threads_probe
+        plan, outputs=outputs, order=order, threads_probe=threads_probe,
+        equiv=equiv,
     )
     ignore = tuple(ignore)
     if ignore:

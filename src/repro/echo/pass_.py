@@ -56,6 +56,12 @@ class EchoReport:
     #: allocates); 0 when the pass ran under the greedy memplan mode
     baseline_packed_bytes: int = 0
     optimized_packed_bytes: int = 0
+    #: canonical output fingerprint of the *source* graph, captured before
+    #: any rewrite when REPRO_VERIFY is armed (else ""); mirror-normalized,
+    #: so a faithful rewrite leaves it unchanged
+    source_fingerprint: str = ""
+    #: :class:`repro.analysis.witness.MirrorWitness` per surviving mirror
+    mirror_witnesses: list = field(default_factory=list)
 
     @property
     def footprint_reduction(self) -> float:
@@ -139,6 +145,19 @@ class EchoPass:
         outputs = graph.outputs
         output_keys = {t.key for t in outputs}
 
+        # Translation-validation anchor (REPRO_VERIFY armed): the source
+        # graph's canonical output fingerprint, captured before any
+        # rewrite. Mirror substitution normalizes recompute nodes onto
+        # their originals, so a faithful rewrite reproduces it exactly;
+        # a mis-pointed consumer or broken mirror changes it.
+        source_fp = ""
+        from repro.analysis.verify import verification_enabled
+
+        if verification_enabled():
+            from repro.analysis.equiv import fingerprint_outputs
+
+            source_fp = fingerprint_outputs(outputs)
+
         order, baseline_plan = self._replan(outputs)
         # Scored before any rewrite mutates the graph: the memoized packed
         # footprint is keyed by graph signature, which the rewrites change.
@@ -166,6 +185,7 @@ class EchoPass:
             candidates_found=len(candidates),
             iteration_seconds=iteration.seconds,
             baseline_plan=baseline_plan,
+            source_fingerprint=source_fp,
         )
 
         viable = sorted(
@@ -287,6 +307,11 @@ class EchoPass:
 
         check_barrier_legality(_new_order)
         self._verify_rewrite(_new_order, output_keys)
+        report.mirror_witnesses = [
+            w for a in applied for w in a.witnesses
+        ]
+        if source_fp:
+            self._certify_fingerprint(outputs, source_fp)
 
         report.recompute_seconds = spent
         report.optimized_peak_bytes = new_plan.peak_bytes
@@ -296,6 +321,32 @@ class EchoPass:
             report.optimized_packed_bytes = packed_peak_bytes(new_plan)
         return report
 
+
+    @staticmethod
+    def _certify_fingerprint(outputs, source_fp: str) -> None:
+        """Re-fingerprint the rewritten graph against the source anchor.
+
+        Runs only when the anchor was captured (REPRO_VERIFY armed).
+        Mirror normalization makes the canonical fingerprint invariant
+        under a faithful Echo rewrite, so any drift — plus any EQ-family
+        error the canonicalizer itself found (unjustified recompute node,
+        broken mirror, duplicated unstable RNG) — is a rewrite bug.
+        """
+        from repro.analysis.equiv import certify_outputs
+        from repro.analysis.findings import Severity
+
+        fp, findings = certify_outputs(outputs)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        if fp != source_fp or errors:
+            detail = "\n".join(f.format() for f in errors[:8])
+            drift = "" if fp == source_fp else (
+                f"canonical output fingerprint drifted "
+                f"({source_fp[:12]} -> {fp[:12]})\n"
+            )
+            raise RuntimeError(
+                "Echo rewrite failed equivalence certification:\n"
+                f"{drift}{detail}"
+            )
 
     @staticmethod
     def _verify_rewrite(order: list[Node], output_keys: set) -> None:

@@ -32,6 +32,9 @@ class AppliedCandidate:
     mirrors: dict[int, Node]  # original uid -> mirror node
     #: (backward node, its inputs tuple before re-pointing)
     repointed: list[tuple[Node, tuple[Tensor, ...]]] = field(default_factory=list)
+    #: per-mirror :class:`repro.analysis.witness.MirrorWitness` records,
+    #: collected by the Echo pass for the equivalence certifier
+    witnesses: list = field(default_factory=list)
 
     def rollback(self) -> None:
         """Restore every re-pointed consumer; mirrors become unreachable."""
@@ -84,7 +87,20 @@ def apply_candidate(
     # Re-point backward consumers of region outputs at the mirrors; leave
     # forward consumers, pinned graph outputs, and intentionally preserved
     # stashes on the originals.
-    applied = AppliedCandidate(candidate=candidate, mirrors=mirrors)
+    # Function-level import: the disabled Echo path never imports
+    # repro.analysis, and the witness module is dependency-free.
+    from repro.analysis.witness import MirrorWitness
+
+    applied = AppliedCandidate(
+        candidate=candidate,
+        mirrors=mirrors,
+        witnesses=[
+            MirrorWitness(
+                mirror_uid=mirror.uid, original_uid=uid, op=mirror.op.name
+            )
+            for uid, mirror in mirrors.items()
+        ],
+    )
     first_consumer_priority: dict[int, float] = {}
     for consumer in order:
         if consumer.stage is Stage.FORWARD:

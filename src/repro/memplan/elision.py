@@ -37,6 +37,26 @@ from repro.graph.shapes import normalize_axis
 _INPLACE_KINDS = ("out", "fused")
 
 
+def describe_index(index: Any) -> tuple[Any, ...]:
+    """Serialize one alias-view index into a comparable, hashable form.
+
+    The equivalence certifier compares the index object baked into an
+    ``alias`` instruction against the pass's witness and against a fresh
+    re-derivation from the node's attrs; index objects (slices, tuples of
+    slices) are unhashable and compare by identity-insensitive structure,
+    so both sides serialize through this one function.
+    """
+    if index is None:
+        return ("rebind",)
+    if isinstance(index, slice):
+        return ("slice", index.start, index.stop, index.step)
+    if isinstance(index, tuple):
+        return ("tuple", *(describe_index(i) for i in index))
+    if isinstance(index, int):
+        return ("int", index)
+    return ("opaque", repr(index))
+
+
 def _alias_indices(desc: dict[str, Any]) -> list[Any] | None:
     """Per-output view index for an elidable copy, or None.
 
@@ -111,6 +131,10 @@ def elide_copies(
                 "op": desc["node"].op.name,
                 "src_slot": src,
                 "out_slots": list(desc["out_slots"]),
+                # The witness payload: the exact view each output binds,
+                # serialized so the equivalence certifier can compare it
+                # against an independent re-derivation (EQ605).
+                "indices": [describe_index(ix) for ix in indices],
             }
         )
     return records
@@ -245,3 +269,10 @@ def rewrite_inplace(
         for i in range(nslots):
             root[i] = find(root[i])
     return records
+
+
+#: public names for the equivalence certifier's independent re-derivations
+#: (deliberately the *same* functions the pass uses: the certifier checks
+#: the lowered stream against them, not against the pass's records alone)
+alias_view_indices = _alias_indices
+inplace_positions = _inplace_positions

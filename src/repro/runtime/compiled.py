@@ -365,6 +365,10 @@ class PlanLowering:
     #: placement byte-range hazard tokens keyed like ``memplan.placements``
     #: (color mode); None means "fall back to id(storage base)"
     storage_tokens: dict[Any, tuple[int, ...]] | None = None
+    #: :class:`repro.analysis.witness.WitnessSet` of every rewrite the
+    #: lowering performed (fusion/batching/elision/in-place), consumed by
+    #: the equivalence certifier; None only for hand-built fixtures
+    witnesses: Any = None
 
 
 def build_instr_infos(
@@ -597,6 +601,15 @@ class CompiledPlan:
                         "node": tail,
                         "in_slots": tuple(in_slots),
                         "out_slots": out_slots,
+                        # Rewrite witness, stamped where the decision is
+                        # made (position-independent: final instruction
+                        # indices are assigned after batching).
+                        "witness": {
+                            "members": tuple(m.uid for m in chain),
+                            "tail": tail.uid,
+                            "shape": tail.out_specs[0].shape,
+                            "dtype": str(tail.out_specs[0].dtype),
+                        },
                     }
                 )
                 arena_produced[out_slots[0]] = True
@@ -791,6 +804,53 @@ class CompiledPlan:
             raws[id(base)] = base.nbytes
         self.static_storage_bytes = sum(raws.values())
 
+        # Collect every rewrite witness into one plan-level set for the
+        # equivalence certifier. Imported lazily: repro.analysis imports
+        # this module at package level, and the witness dataclasses are
+        # deliberately dependency-free.
+        from repro.analysis.witness import (
+            AliasWitness,
+            BatchWitness,
+            FusionWitness,
+            InplaceWitness,
+            WitnessSet,
+        )
+
+        witness_set = WitnessSet()
+        for idx, desc in enumerate(descs):
+            payload = desc.get("witness")
+            if payload is None:
+                continue
+            if desc["kind"] == "fused":
+                witness_set.fusions[idx] = FusionWitness(
+                    instr=idx,
+                    tail_uid=payload["tail"],
+                    members=payload["members"],
+                    shape=payload["shape"],
+                    dtype=payload["dtype"],
+                )
+            elif desc["kind"] == "batched":
+                witness_set.batches[idx] = BatchWitness(instr=idx, **payload)
+        if assignment.record is not None:
+            for rec in assignment.record.elided:
+                witness_set.aliases[rec["instr"]] = AliasWitness(
+                    instr=rec["instr"],
+                    op=rec["op"],
+                    src_slot=rec["src_slot"],
+                    out_slots=tuple(rec["out_slots"]),
+                    indices=tuple(rec.get("indices", ())),
+                )
+            witness_set.inplace = tuple(
+                InplaceWitness(
+                    instr=rec["instr"],
+                    out=rec["out"],
+                    target=rec["target"],
+                    root=rec["root"],
+                    members=tuple(rec["members"]),
+                )
+                for rec in assignment.record.inplace
+            )
+
         #: compile-time record for the static analyzers (repro.analysis)
         self.lowering = PlanLowering(
             descs=descs,
@@ -808,6 +868,7 @@ class CompiledPlan:
             static_bases=dict(raws),
             memplan=assignment.record,
             storage_tokens=assignment.storage_tokens,
+            witnesses=witness_set,
         )
 
     def instr_infos(self) -> list[InstrInfo]:
@@ -925,6 +986,17 @@ class CompiledPlan:
                 "out_slots": out_slots,
                 "scratch_a": None,
                 "scratch_b": None,
+                # Rewrite witness for the equivalence certifier: the
+                # exact member/operand wiring this stack claims.
+                "witness": {
+                    "members": tuple(n.uid for n in nodes),
+                    "a_slots": a_slots,
+                    "b_slots": b_slots,
+                    "ta": nodes[0].attrs["ta"],
+                    "tb": nodes[0].attrs["tb"],
+                    "shape": nodes[0].out_specs[0].shape,
+                    "dtype": str(nodes[0].out_specs[0].dtype),
+                },
             }
             merged_at[grp[-1]] = merged
             drop.update(grp[:-1])

@@ -147,14 +147,16 @@ class GraphExecutor:
         the profiler adds optimizer state and framework overheads)."""
         return self.memory_plan.peak_bytes
 
-    def verify(self, threads_probe: int = 4):
+    def verify(self, threads_probe: int = 4, equiv: bool = False):
         """Statically verify this executor's compiled plan.
 
-        Runs all four :mod:`repro.analysis` analyzers — IR lint, recompute
-        safety, arena lifetimes, wavefront races — against the plan and
-        returns the :class:`~repro.analysis.findings.AnalysisReport`
-        (``report.ok`` is the pass/fail bit). Independent of the
-        ``REPRO_VERIFY`` compile-time guard.
+        Runs the :mod:`repro.analysis` analyzers — IR lint, recompute
+        safety, arena lifetimes, packing, wavefront races, and
+        (``equiv=True``) symbolic equivalence certification — against the
+        plan and returns the
+        :class:`~repro.analysis.findings.AnalysisReport` (``report.ok``
+        is the pass/fail bit). Independent of the ``REPRO_VERIFY``
+        compile-time guard.
         """
         from repro.analysis.verify import verify_plan
 
@@ -163,6 +165,7 @@ class GraphExecutor:
             outputs=self.outputs,
             order=self.order,
             threads_probe=threads_probe,
+            equiv=equiv,
         )
 
     def run(

@@ -36,14 +36,15 @@ def _maybe_verify(plan: CompiledPlan) -> None:
     The env check is inline so the disabled path costs one dict lookup and
     never imports :mod:`repro.analysis`. Runs on cache misses only (the
     builder path), so a cached plan is verified exactly once.
+    ``REPRO_VERIFY=full`` (or ``equiv``) selects the translation-validation
+    tier: symbolic equivalence certification on top of the safety checks.
     """
-    if os.environ.get("REPRO_VERIFY", "").strip().lower() not in (
-        "1", "true", "yes", "on",
-    ):
+    raw = os.environ.get("REPRO_VERIFY", "").strip().lower()
+    if raw not in ("1", "true", "yes", "on", "full", "equiv"):
         return
     from repro.analysis.verify import assert_plan_safe
 
-    assert_plan_safe(plan)
+    assert_plan_safe(plan, equiv=raw in ("full", "equiv"))
 
 
 def graph_signature(outputs: Sequence[Tensor]) -> Hashable:

@@ -164,12 +164,13 @@ class InferenceSession:
             report["tune_store"] = store.stats()
         return report
 
-    def verify(self, threads_probe: int = 4):
+    def verify(self, threads_probe: int = 4, equiv: bool = False):
         """Statically verify every bucket decoder's compiled plans.
 
         Compiles any cold bucket (same path as :meth:`warmup`), runs the
         :mod:`repro.analysis` analyzers over each bucket's encoder and
-        decoder-step plans, and returns one merged
+        decoder-step plans (``equiv=True`` adds equivalence
+        certification), and returns one merged
         :class:`~repro.analysis.findings.AnalysisReport`. Explicit
         (unconditional) counterpart of the ``REPRO_VERIFY`` warmup guard.
         """
@@ -180,7 +181,9 @@ class InferenceSession:
             decoder = self.decoder_for(bucket)
             for executor in (decoder._encoder, decoder._step):
                 report.extend(
-                    executor.verify(threads_probe=threads_probe).findings
+                    executor.verify(
+                        threads_probe=threads_probe, equiv=equiv
+                    ).findings
                 )
         return report
 

@@ -73,7 +73,7 @@ def info(i, reads=(), writes=(), rb=(), wb=(), stage=Stage.FORWARD,
 class TestFindingModel:
     def test_catalog_is_consistent(self):
         for code, (severity, desc) in CODES.items():
-            assert code[:2] in ("IR", "LT", "RC", "EC", "MP", "DS")
+            assert code[:2] in ("IR", "LT", "RC", "EC", "MP", "DS", "EQ")
             assert isinstance(severity, Severity)
             assert desc
 
