@@ -1,0 +1,169 @@
+"""Observability overhead gate: tracing must be ~free when off, cheap when on.
+
+The obs spine promises *zero-overhead-when-disabled*: every hot-path
+instrumentation site is guarded by a module-global flag (or hands back a
+shared no-op span), so a build that never enables tracing pays only a
+boolean check per site. This benchmark enforces the two budgets from the
+design:
+
+* **disabled**: instrumentation cost <= 1% of the per-iteration wall.
+  Measured structurally, not as a wall-clock A/B (a 1% delta is far
+  below timer noise on a shared CI host): count the spans one traced
+  iteration emits, measure the cost of the disabled fast path
+  (``span()`` returning the no-op + the ``TRACING`` flag check) in a
+  tight loop, and bound spans/iter x per-site cost against the measured
+  iteration wall.
+* **enabled**: traced iteration wall <= 1.10x untraced (min-of-repeats
+  on warm plans, so plan compilation never pollutes either side).
+
+Results persist to ``benchmarks/results/perf_obs.txt`` and machine
+readable to ``BENCH_obs.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.data import lm_batches, markov_corpus
+from repro.echo import EchoPass
+from repro.experiments import format_table
+from repro.models import WordLmConfig, build_word_lm
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime import PlanCache
+from repro.train import SGD, Trainer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: Small-tensor LM so per-step host work (the regime where per-site
+#: instrumentation cost would show) dominates over numpy kernels.
+CONFIG = WordLmConfig(
+    vocab_size=120, embed_size=24, hidden_size=24, num_layers=1,
+    seq_len=10, batch_size=8, dropout=0.0,
+)
+STEPS = 6
+REPEATS = 5
+
+DISABLED_BUDGET = 0.01  # <= 1% of iteration wall, structural bound
+ENABLED_BUDGET = 1.10   # traced wall <= 1.10x untraced
+
+
+def _build_trainer():
+    model = build_word_lm(CONFIG)
+    cache = PlanCache()
+    EchoPass(plan_cache=cache).run(model.graph)
+    params = model.store.initialize(seed=0)
+    trainer = Trainer(model.graph, params, SGD(0.1), plan_cache=cache)
+    corpus = markov_corpus(CONFIG.vocab_size, 1200, seed=7)
+    batches = list(itertools.islice(
+        lm_batches(corpus, CONFIG.batch_size, CONFIG.seq_len), STEPS
+    ))
+    return trainer, batches
+
+
+def _min_step_seconds(trainer, batches) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for feeds in batches:
+            trainer.step(feeds)
+        best = min(best, (time.perf_counter() - start) / len(batches))
+    return best
+
+
+def _noop_site_seconds(calls: int = 200_000) -> float:
+    """Per-call cost of a disabled instrumentation site.
+
+    A site in the hot path is either ``if obs_trace.TRACING`` (flag
+    check) or a ``with obs_trace.span(...)`` on the shared no-op; the
+    span form is the more expensive of the two, so it bounds both.
+    """
+    assert not obs_trace.TRACING
+    span = obs_trace.span
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("bench.site", "bench", None):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _spans_per_iteration(trainer, batches) -> int:
+    tracer = obs_trace.enable(fresh=True)
+    try:
+        obs_metrics.enable(fresh=True)
+        for feeds in batches:
+            trainer.step(feeds)
+        return tracer.span_count() // len(batches) + 1
+    finally:
+        obs_trace.disable()
+        obs_metrics.disable()
+
+
+@pytest.fixture
+def _obs_disabled():
+    """Force-disable obs for the timed run (REPRO_TRACE may be armed
+    in the environment); restore the ambient state afterwards."""
+    saved = (obs_trace._tracer, obs_trace.TRACING, obs_metrics._registry)
+    obs_trace.disable()
+    obs_metrics.disable()
+    try:
+        yield
+    finally:
+        obs_trace._tracer, obs_trace.TRACING = saved[0], saved[1]
+        obs_metrics._registry = saved[2]
+
+
+def test_observability_overhead(benchmark, save_result, _obs_disabled):
+    assert not obs_trace.TRACING and obs_metrics.registry() is None
+
+    def experiment():
+        trainer, batches = _build_trainer()
+        # Warm every plan tier before any timed pass.
+        trainer.step(batches[0])
+
+        untraced_s = _min_step_seconds(trainer, batches)
+        site_s = _noop_site_seconds()
+        spans = _spans_per_iteration(trainer, batches)
+        disabled_overhead = spans * site_s / untraced_s
+
+        obs_trace.enable(fresh=True)
+        obs_metrics.enable(fresh=True)
+        try:
+            traced_s = _min_step_seconds(trainer, batches)
+        finally:
+            obs_trace.disable()
+            obs_metrics.disable()
+        enabled_ratio = traced_s / untraced_s
+        return {
+            "untraced_step_s": untraced_s,
+            "traced_step_s": traced_s,
+            "noop_site_ns": site_s * 1e9,
+            "spans_per_iteration": spans,
+            "disabled_overhead_fraction": disabled_overhead,
+            "enabled_ratio": enabled_ratio,
+        }
+
+    result = run_once(benchmark, experiment)
+
+    rows = [(k, f"{v:.6g}") for k, v in result.items()]
+    save_result(
+        "perf_obs",
+        format_table(["metric", "value"], rows, "observability overhead"),
+    )
+    payload = dict(result)
+    payload["budgets"] = {
+        "disabled_overhead_fraction": DISABLED_BUDGET,
+        "enabled_ratio": ENABLED_BUDGET,
+    }
+    (REPO_ROOT / "BENCH_obs.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    assert result["disabled_overhead_fraction"] <= DISABLED_BUDGET, result
+    assert result["enabled_ratio"] <= ENABLED_BUDGET, result

@@ -39,6 +39,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.dist.group import ProcessGroup
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "DEFAULT_CHUNK_BYTES",
@@ -58,6 +59,38 @@ def _chunk_slices(size: int, itemsize: int, chunk_bytes: int) -> list[slice]:
     """Contiguous chunk slices over a flat array of ``size`` elements."""
     elems = max(1, int(chunk_bytes) // max(1, itemsize))
     return [slice(lo, min(lo + elems, size)) for lo in range(0, size, elems)]
+
+
+def _traced_io(group: ProcessGroup) -> tuple[Any, Any]:
+    """Span-wrapped ``(send, recv)`` for per-chunk wire visibility.
+
+    Only built when tracing is on; the spans land on the calling rank's
+    thread, tagged with peer/seq/tag so :func:`repro.obs.trace.
+    merge_chrome_traces` can align send/recv pairs across ranks.
+    """
+
+    def send(peer: int, seq: int, tag: Any, payload: Any) -> None:
+        with obs_trace.span(
+            "dist.chunk.send", "dist",
+            {"to": peer, "seq": seq, "tag": str(tag)},
+        ):
+            group.send(peer, seq, tag, payload)
+
+    def recv(peer: int, seq: int, tag: Any, timeout_s: float | None) -> Any:
+        with obs_trace.span(
+            "dist.chunk.recv", "dist",
+            {"from": peer, "seq": seq, "tag": str(tag)},
+        ):
+            return group.recv(peer, seq, tag, timeout_s)
+
+    return send, recv
+
+
+def _io(group: ProcessGroup) -> tuple[Any, Any]:
+    """The group's raw ``(send, recv)``, traced when tracing is on."""
+    if obs_trace.TRACING:
+        return _traced_io(group)
+    return group.send, group.recv
 
 
 def _apply_mean(total: np.ndarray, count: int) -> np.ndarray:
@@ -95,29 +128,35 @@ def ring_allreduce(
     pos, right, left = group.position, group.right, group.left
     slices = _chunk_slices(flat.size, flat.itemsize, chunk_bytes)
     out = np.empty_like(flat)
+    send, recv = _io(group)
 
-    # Reduce pass: partial sums flow position 0 -> K-1, each position
-    # adding its contribution in ring order (the canonical fold).
-    for c, sl in enumerate(slices):
-        if pos == 0:
-            group.send(right, seq, ("ar", c, "red"), flat[sl])
-        else:
-            part = group.recv(left, seq, ("ar", c, "red"), timeout_s)
-            np.add(part, flat[sl], out=part)
-            if pos < k - 1:
-                group.send(right, seq, ("ar", c, "red"), part)
+    with obs_trace.span(
+        "dist.allreduce", "dist",
+        {"gen": group.generation, "seq": seq, "rank": group.rank,
+         "op": op, "chunks": len(slices), "bytes": int(flat.nbytes)},
+    ):
+        # Reduce pass: partial sums flow position 0 -> K-1, each position
+        # adding its contribution in ring order (the canonical fold).
+        for c, sl in enumerate(slices):
+            if pos == 0:
+                send(right, seq, ("ar", c, "red"), flat[sl])
             else:
-                out[sl] = part
+                part = recv(left, seq, ("ar", c, "red"), timeout_s)
+                np.add(part, flat[sl], out=part)
+                if pos < k - 1:
+                    send(right, seq, ("ar", c, "red"), part)
+                else:
+                    out[sl] = part
 
-    # Broadcast pass: the full sums flow K-1 -> 0 -> ... -> K-2.
-    for c, sl in enumerate(slices):
-        if pos == k - 1:
-            group.send(right, seq, ("ar", c, "bc"), out[sl])
-        else:
-            chunk = group.recv(left, seq, ("ar", c, "bc"), timeout_s)
-            out[sl] = chunk
-            if pos < k - 2:
-                group.send(right, seq, ("ar", c, "bc"), chunk)
+        # Broadcast pass: the full sums flow K-1 -> 0 -> ... -> K-2.
+        for c, sl in enumerate(slices):
+            if pos == k - 1:
+                send(right, seq, ("ar", c, "bc"), out[sl])
+            else:
+                chunk = recv(left, seq, ("ar", c, "bc"), timeout_s)
+                out[sl] = chunk
+                if pos < k - 2:
+                    send(right, seq, ("ar", c, "bc"), chunk)
 
     if op == "mean":
         _apply_mean(out, k)
@@ -162,11 +201,16 @@ def ring_allgather(
         return gathered
     seq = group.next_seq()
     current = gathered[group.rank]
-    for step in range(k - 1):
-        group.send(group.right, seq, ("ag", step), current)
-        current = group.recv(group.left, seq, ("ag", step), timeout_s)
-        source = group.neighbor(-(step + 1))
-        gathered[source] = current
+    send, recv = _io(group)
+    with obs_trace.span(
+        "dist.allgather", "dist",
+        {"gen": group.generation, "seq": seq, "rank": group.rank},
+    ):
+        for step in range(k - 1):
+            send(group.right, seq, ("ag", step), current)
+            current = recv(group.left, seq, ("ag", step), timeout_s)
+            source = group.neighbor(-(step + 1))
+            gathered[source] = current
     return gathered
 
 
@@ -186,14 +230,20 @@ def ring_broadcast(
     seq = group.next_seq()
     root_pos = group.live.index(root)
     distance = (group.position - root_pos) % k
-    if distance == 0:
-        value = np.asarray(array)
-        group.send(group.right, seq, ("bc",), value)
-        return np.array(value, copy=True)
-    value = group.recv(group.left, seq, ("bc",), timeout_s)
-    if distance < k - 1:
-        group.send(group.right, seq, ("bc",), value)
-    return value
+    send, recv = _io(group)
+    with obs_trace.span(
+        "dist.broadcast", "dist",
+        {"gen": group.generation, "seq": seq, "rank": group.rank,
+         "root": root},
+    ):
+        if distance == 0:
+            value = np.asarray(array)
+            send(group.right, seq, ("bc",), value)
+            return np.array(value, copy=True)
+        value = recv(group.left, seq, ("bc",), timeout_s)
+        if distance < k - 1:
+            send(group.right, seq, ("bc",), value)
+        return value
 
 
 def barrier(group: ProcessGroup, timeout_s: float | None = None) -> None:
@@ -206,14 +256,19 @@ def barrier(group: ProcessGroup, timeout_s: float | None = None) -> None:
     if group.live_size == 1:
         return
     seq = group.next_seq()
-    for lap in (0, 1):
-        tag = ("bar", lap)
-        if group.position == 0:
-            group.send(group.right, seq, tag, None)
-            group.recv(group.left, seq, tag, timeout_s)
-        else:
-            group.recv(group.left, seq, tag, timeout_s)
-            group.send(group.right, seq, tag, None)
+    send, recv = _io(group)
+    with obs_trace.span(
+        "dist.barrier", "dist",
+        {"gen": group.generation, "seq": seq, "rank": group.rank},
+    ):
+        for lap in (0, 1):
+            tag = ("bar", lap)
+            if group.position == 0:
+                send(group.right, seq, tag, None)
+                recv(group.left, seq, tag, timeout_s)
+            else:
+                recv(group.left, seq, tag, timeout_s)
+                send(group.right, seq, tag, None)
 
 
 def allreduce_named(

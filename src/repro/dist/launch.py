@@ -35,6 +35,7 @@ import traceback
 from typing import Any, Callable, Sequence
 
 from repro.dist.channels import PipeChannel, ThreadChannel
+from repro.obs import trace as obs_trace
 from repro.dist.group import DEFAULT_TIMEOUT_S, DistError, ProcessGroup
 from repro.dist.stats import DistStats
 
@@ -170,6 +171,9 @@ def _process_worker(
         timeout_s=timeout_s,
         stats=DistStats(rank),
     )
+    # An env-armed tracer was inherited across the fork still tagged
+    # with the parent's pid; retag so ranks merge as distinct processes.
+    obs_trace.set_process(rank, f"rank{rank}")
     try:
         result = fn(group, *args)
     except BaseException:  # noqa: BLE001 - ferried to the parent
@@ -179,6 +183,9 @@ def _process_worker(
     finally:
         result_conn.close()
         group.close()
+        # Children exit via os._exit and skip atexit — flush any
+        # env-armed trace export (pid-suffixed) before that happens.
+        obs_trace.flush_exit_exports()
 
 
 def _run_processes(

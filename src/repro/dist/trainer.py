@@ -82,6 +82,7 @@ from repro.dist.group import (
     ProcessGroup,
     ProtocolError,
 )
+from repro.obs import trace as obs_trace
 from repro.runtime import PlanCache, TrainingExecutor
 from repro.train.metrics import perplexity
 from repro.train.optimizer import Optimizer
@@ -306,7 +307,24 @@ class DistributedTrainer(Trainer):
             f"{attempts} ring re-formations"
         )
 
+    @property
+    def step_done(self) -> threading.Event:
+        """Set when the communicator finishes the current step's jobs.
+
+        Event-driven synchronization point for tests: waiting on it (after
+        ``step`` returns it is already set) replaces wall-clock sleeps.
+        """
+        return self._step_done
+
     def _try_step(self, local: Mapping[str, np.ndarray]) -> TrainRecord:
+        with obs_trace.span(
+            "dist.step", "dist",
+            {"rank": self.group.rank, "gen": self.group.generation,
+             "step": len(self.history) + 1},
+        ):
+            return self._try_step_inner(local)
+
+    def _try_step_inner(self, local: Mapping[str, np.ndarray]) -> TrainRecord:
         self._epoch += 1
         self._reduced_buckets.clear()
         self._reduced_loss = None
@@ -353,6 +371,18 @@ class DistributedTrainer(Trainer):
         )
         self.history.append(record)
         self.speedometer.update(self._samples, self._sim_clock)
+        self._record_metrics(record)
+        if self.metrics is not None:
+            snap = self.group.stats.snapshot()
+            self.metrics.absorb(f"dist.rank{self.group.rank}", snap)
+            total = (
+                snap["overlap_reduced_buckets"] + snap["tail_reduced_buckets"]
+            )
+            self.metrics.gauge(
+                f"dist.rank{self.group.rank}.overlap_fraction"
+            ).set(
+                snap["overlap_reduced_buckets"] / total if total else 0.0
+            )
         return record
 
     def close(self) -> None:

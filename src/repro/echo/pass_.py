@@ -33,6 +33,8 @@ from repro.gpumodel import DeviceModel
 from repro.graph import Node, Stage
 from repro.memplan.estimate import packed_peak_bytes
 from repro.memplan.modes import memplan_mode
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.memory import MemoryPlan
 from repro.runtime.plancache import PlanCache, default_plan_cache, graph_signature
 
@@ -141,6 +143,27 @@ class EchoPass:
         )
 
     def run(self, graph: TrainingGraph) -> EchoReport:
+        """Run the pass; one ``echo.pass`` span covers the whole search."""
+        with obs_trace.span("echo.pass", "echo") as sp:
+            report = self._run(graph)
+            sp["accepted"] = len(report.accepted)
+            sp["rejected_low_benefit"] = report.rejected_low_benefit
+            sp["rejected_budget"] = report.rejected_budget
+            sp["rolled_back"] = report.rolled_back
+            sp["saved_bytes"] = (
+                report.baseline_peak_bytes - report.optimized_peak_bytes
+            )
+        reg = obs_metrics.registry()
+        if reg is not None:
+            reg.counter("echo.accepted").inc(len(report.accepted))
+            reg.counter("echo.rejected_low_benefit").inc(
+                report.rejected_low_benefit
+            )
+            reg.counter("echo.rejected_budget").inc(report.rejected_budget)
+            reg.counter("echo.rolled_back").inc(report.rolled_back)
+        return report
+
+    def _run(self, graph: TrainingGraph) -> EchoReport:
         cfg = self.config
         outputs = graph.outputs
         output_keys = {t.key for t in outputs}

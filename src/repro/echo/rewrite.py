@@ -22,6 +22,7 @@ from typing import Sequence
 
 from repro.graph import Node, Stage, Tensor
 from repro.echo.analysis import Candidate, TensorKey
+from repro.obs import trace as obs_trace
 
 
 @dataclass
@@ -73,6 +74,22 @@ def apply_candidate(
     workspace_sharing: bool = True,
 ) -> AppliedCandidate:
     """Mirror ``candidate.nodes`` and re-point their backward consumers."""
+    with obs_trace.span(
+        "echo.apply", "echo",
+        {"nodes": len(candidate.nodes),
+         "benefit_bytes": candidate.benefit_bytes},
+    ):
+        return _apply_candidate(
+            candidate, order, output_keys, workspace_sharing
+        )
+
+
+def _apply_candidate(
+    candidate: Candidate,
+    order: Sequence[Node],
+    output_keys: set[TensorKey],
+    workspace_sharing: bool = True,
+) -> AppliedCandidate:
     region_uids = {n.uid for n in candidate.nodes}
 
     # Map: original output key -> mirrored tensor.

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.memplan.coloring import Request, atomic_tokens, pack_intervals
 from repro.memplan.elision import elide_copies, rewrite_inplace
+from repro.obs import trace as obs_trace
 
 #: storage spec of one alias group's backing buffer
 _Spec = tuple[tuple[int, ...], Any, int]
@@ -366,6 +367,14 @@ def plan_buffers(
     """
     never_freed = set(source_slots) | set(constant_slots) | set(output_slots)
     planner = _plan_color if mode == "color" else _plan_greedy
-    return planner(
-        descs, root, nslots, arena_produced, never_freed, output_slots, arena
-    )
+    with obs_trace.span(
+        "memplan.pack", "plan", {"mode": mode, "instrs": len(descs)}
+    ) as sp:
+        assignment = planner(
+            descs, root, nslots, arena_produced, never_freed, output_slots,
+            arena,
+        )
+        record = assignment.record
+        if record is not None:
+            sp["extent_bytes"] = record.extent_bytes
+    return assignment

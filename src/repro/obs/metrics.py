@@ -1,0 +1,235 @@
+"""Unified metrics: counters, gauges, and exact-bucket histograms.
+
+One :class:`MetricsRegistry` absorbs the stats surfaces that grew up
+scattered across the repo — serving occupancy/latency percentiles
+(:class:`repro.serve.stats.ServerStats`), tuning-store hit counters
+(:meth:`repro.pgo.store.TuneStore.stats`), the distributed overlap
+fraction (:class:`repro.dist.stats.DistStats`), plan-cache hit rates,
+and the verify wall share — behind one :meth:`MetricsRegistry.snapshot`
+and one CLI (``python -m repro.obs.dump``).
+
+Histograms keep **exact buckets**: a dict of observed value → count.
+Percentiles are therefore exact (nearest-rank over the cumulative
+counts), not interpolated across bin edges; degenerate windows behave
+like :func:`repro.serve.stats.percentile` — ``None`` on empty, the
+exact value on a single sample.
+
+Like tracing, the global registry is off unless ``REPRO_METRICS`` is
+set (or :func:`enable` is called): :func:`registry` returns ``None``
+and instrumentation sites skip all bookkeeping, so the disabled path is
+one global read. Subsystems that take an explicit ``metrics=`` registry
+(``InferenceServer``, ``BucketedTrainer``, ``DistributedTrainer``)
+record into it regardless of the global switch.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "enable",
+    "disable",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value: float | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float | None:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Exact-bucket histogram: observed value -> occurrence count.
+
+    Exactness over compression: percentiles are computed over the true
+    multiset of observations (nearest rank), so a histogram of batch
+    occupancies {1: 3, 4: 97} reports p50 = 4 exactly. Workloads here
+    observe bounded sample families (latencies of a test run, bucket
+    occupancies), so the bucket dict stays small; long-running services
+    wanting bounded memory would quantize keys before observing.
+    """
+
+    __slots__ = ("_lock", "_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[float, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        with self._lock:
+            self._buckets[v] = self._buckets.get(v, 0) + 1
+            self._count += 1
+            self._sum += v
+            self._min = min(self._min, v)
+            self._max = max(self._max, v)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, p: float) -> float | None:
+        """Exact nearest-rank percentile; None on an empty window."""
+        with self._lock:
+            if self._count == 0:
+                return None
+            rank = max(1, math.ceil(p / 100.0 * self._count))
+            seen = 0
+            for value in sorted(self._buckets):
+                seen += self._buckets[value]
+                if seen >= rank:
+                    return value
+            return self._max  # p > 100 degenerates to the max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                        "p50": None, "p95": None, "p99": None}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self._min,
+            "max": self._max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric map with one merged snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Any] = {}
+
+    def _get(self, name: str, factory: type) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, factory):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {factory.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def absorb(self, prefix: str, values: Mapping[str, Any]) -> None:
+        """Flatten a scattered stats dict into gauges under ``prefix``.
+
+        Nested dicts flatten with dotted keys; non-numeric leaves are
+        skipped (they belong in traces or logs, not metrics).
+        """
+        for key, val in values.items():
+            name = f"{prefix}.{key}"
+            if isinstance(val, Mapping):
+                self.absorb(name, val)
+            elif isinstance(val, bool):
+                self.gauge(name).set(float(val))
+            elif isinstance(val, (int, float)):
+                self.gauge(name).set(val)
+
+    def snapshot(self) -> dict:
+        """Every metric's current value, by name, JSON-ready."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        out: dict[str, Any] = {}
+        for name, metric in items:
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out
+
+
+# -- module-level switch -----------------------------------------------------
+
+_registry: MetricsRegistry | None = None
+
+
+def registry() -> MetricsRegistry | None:
+    """The global registry, or None when metrics are disabled."""
+    return _registry
+
+
+def enable(fresh: bool = True) -> MetricsRegistry:
+    global _registry
+    if _registry is None or fresh:
+        _registry = MetricsRegistry()
+    return _registry
+
+
+def disable() -> None:
+    global _registry
+    _registry = None
+
+
+def _activate_from_env() -> None:
+    raw = os.environ.get("REPRO_METRICS", "").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
+        enable()
+
+
+_activate_from_env()

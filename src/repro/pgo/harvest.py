@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 import numpy as np
 
 from repro.gpumodel.devices import DeviceModel
+from repro.obs import trace as obs_trace
 from repro.pgo.records import CalibrationDB, shape_class
 from repro.profiler.runtime import measure_node_timings
 
@@ -88,8 +89,12 @@ def calibrate_and_save(
     (Echo analyses, wavefront layouts keyed by calibrated device tokens)
     stop matching and are rebuilt against the fresh records.
     """
-    db = store.calibration()
-    harvest_training_graph(
-        graph, feeds, params, db, device=device, repeats=repeats
-    )
-    return store.save_calibration(db)
+    with obs_trace.span(
+        "pgo.calibrate", "pgo", {"repeats": repeats}
+    ) as sp:
+        db = store.calibration()
+        harvested = harvest_training_graph(
+            graph, feeds, params, db, device=device, repeats=repeats
+        )
+        sp["kernels"] = harvested
+        return store.save_calibration(db)

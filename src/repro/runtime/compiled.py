@@ -75,6 +75,7 @@ import numpy as np
 from repro.graph import Node, Tensor
 from repro.memplan.modes import memplan_mode
 from repro.memplan.planner import plan_buffers
+from repro.obs import trace as obs_trace
 from repro.ops.matmul import gemm_batch_key, stacked_operand
 from repro.runtime.memory import TensorKey
 from repro.runtime.pool import round_up
@@ -516,7 +517,12 @@ class CompiledPlan:
         self.planned_peak_bytes = 0
         #: achieved extent size of the colored packing
         self.packed_extent_bytes = 0
-        self._compile()
+        with obs_trace.span(
+            "plan.lower", "plan",
+            {"nodes": len(self.order), "threads": self.threads,
+             "memplan": self.memplan_mode},
+        ):
+            self._compile()
 
     # -- compilation ---------------------------------------------------------
 
@@ -639,9 +645,12 @@ class CompiledPlan:
         self.batched_gemm_groups = 0
         self.batched_gemm_nodes = 0
         if self.batch_gemms:
-            descs = self._batch_isomorphic_gemms(
-                descs, output_slots, root, arena_produced
-            )
+            with obs_trace.span("gemm.batch", "plan") as sp:
+                descs = self._batch_isomorphic_gemms(
+                    descs, output_slots, root, arena_produced
+                )
+                sp["groups"] = self.batched_gemm_groups
+                sp["nodes"] = self.batched_gemm_nodes
 
         # Buffer planning (repro.memplan): releasability, liveness, and
         # static storage assignment. Greedy mode replays the arena's
@@ -1735,9 +1744,14 @@ class CompiledPlan:
                 hook_error.append(exc)
                 raise
 
+        traced = obs_trace.TRACING
         try:
             if self._program is None:
-                self._body(regs)
+                if traced:
+                    with obs_trace.span("exec.body", "exec"):
+                        self._body(regs)
+                else:
+                    self._body(regs)
                 if on_item is not None:
                     fire(0)
             else:
@@ -1746,9 +1760,24 @@ class CompiledPlan:
                     self._program
                 ):
                     if kind == "serial":
-                        payload(regs)
+                        if traced:
+                            with obs_trace.span(
+                                "wavefront.item", "exec",
+                                {"item": item_idx, "kind": "serial"},
+                            ):
+                                payload(regs)
+                        else:
+                            payload(regs)
                     else:
-                        pool.run_level(payload, regs)
+                        if traced:
+                            with obs_trace.span(
+                                "wavefront.item", "exec",
+                                {"item": item_idx, "kind": "level",
+                                 "chunks": len(payload)},
+                            ):
+                                pool.run_level(payload, regs)
+                        else:
+                            pool.run_level(payload, regs)
                         for s in clears:
                             regs[s] = None
                     if on_item is not None:

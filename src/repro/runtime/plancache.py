@@ -17,6 +17,7 @@ plan for it is — correctly — reused.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Mapping, Sequence
 
@@ -25,6 +26,8 @@ import os
 from repro.graph import Tensor
 from repro.graph.traversal import topo_order
 from repro.memplan.modes import memory_aware_default, memplan_mode
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.compiled import Arena, CompiledPlan
 from repro.runtime.memory import Category, MemoryPlan, TensorKey, plan_memory
 from repro.runtime.scheduler import schedule
@@ -44,7 +47,14 @@ def _maybe_verify(plan: CompiledPlan) -> None:
         return
     from repro.analysis.verify import assert_plan_safe
 
-    assert_plan_safe(plan, equiv=raw in ("full", "equiv"))
+    start = time.perf_counter()
+    with obs_trace.span("plan.verify", "plan",
+                        {"tier": "equiv" if raw in ("full", "equiv")
+                         else "safety"}):
+        assert_plan_safe(plan, equiv=raw in ("full", "equiv"))
+    reg = obs_metrics.registry()
+    if reg is not None:
+        reg.histogram("plan.verify_s").observe(time.perf_counter() - start)
 
 
 def graph_signature(outputs: Sequence[Tensor]) -> Hashable:
@@ -126,17 +136,37 @@ class PlanCache:
 
     def memo(self, key: Hashable, builder: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, building it on first use."""
+        traced = obs_trace.TRACING
+        reg = obs_metrics.registry()
         with self._lock:
             try:
                 value = self._entries[key]
             except KeyError:
                 self.misses += 1
-                value = builder()
+                if reg is not None:
+                    reg.counter("plancache.misses").inc()
+                if traced:
+                    kind = key[0] if isinstance(key, tuple) and key else key
+                    with obs_trace.span(
+                        "cache.lookup", "cache",
+                        {"hit": False, "kind": str(kind)},
+                    ):
+                        value = builder()
+                else:
+                    value = builder()
                 self._entries[key] = value
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                 return value
             self.hits += 1
+            if reg is not None:
+                reg.counter("plancache.hits").inc()
+            if traced:
+                kind = key[0] if isinstance(key, tuple) and key else key
+                with obs_trace.span(
+                    "cache.lookup", "cache", {"hit": True, "kind": str(kind)}
+                ):
+                    pass
             self._entries.move_to_end(key)
             return value
 
@@ -160,15 +190,18 @@ class PlanCache:
         flavor = "memaware" if memory_aware else ""
 
         def build() -> list:
-            store = self.store
-            if store is not None:
-                cached = store.load_order(outputs, sig, flavor)
-                if cached is not None:
-                    return cached
-            order = schedule(outputs, memory_aware=memory_aware)
-            if store is not None:
-                store.save_order(outputs, order, sig, flavor)
-            return order
+            with obs_trace.span(
+                "plan.schedule", "plan", {"memaware": bool(memory_aware)}
+            ):
+                store = self.store
+                if store is not None:
+                    cached = store.load_order(outputs, sig, flavor)
+                    if cached is not None:
+                        return cached
+                order = schedule(outputs, memory_aware=memory_aware)
+                if store is not None:
+                    store.save_order(outputs, order, sig, flavor)
+                return order
 
         order = self.memo(("schedule", sig, memory_aware), build)
         return list(order)
@@ -225,6 +258,7 @@ class PlanCache:
             id(device) if device is not None else None, mode,
         )
         def build() -> CompiledPlan:
+            start = time.perf_counter()
             store = self.store
             resolved_device = device
             code_cache = None
@@ -270,9 +304,21 @@ class PlanCache:
                         )
                 store.flush_code_cache()
             _maybe_verify(plan)
+            reg = obs_metrics.registry()
+            if reg is not None:
+                reg.histogram("plan.compile_s").observe(
+                    time.perf_counter() - start
+                )
             return plan
 
-        return self.memo(key, build)
+        def traced_build() -> CompiledPlan:
+            with obs_trace.span(
+                "plan.compile", "plan",
+                {"threads": threads, "memplan": mode, "fuse": fuse},
+            ):
+                return build()
+
+        return self.memo(key, traced_build if obs_trace.TRACING else build)
 
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:

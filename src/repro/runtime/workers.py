@@ -25,6 +25,8 @@ import queue
 import threading
 from typing import Callable, Sequence
 
+from repro.obs import trace as obs_trace
+
 __all__ = [
     "WorkerPool",
     "shared_pool",
@@ -124,6 +126,10 @@ class WorkerPool:
         write disjoint slots, so a failed level leaves no torn state a
         serial replay could not reproduce.
         """
+        if obs_trace.TRACING:
+            # Spans are emitted on the thread that executes the chunk, so
+            # worker-run chunks land on their worker's timeline row.
+            chunks = [self._traced_chunk(c, i) for i, c in enumerate(chunks)]
         if len(chunks) == 1:
             chunks[0](regs)
             return
@@ -138,6 +144,18 @@ class WorkerPool:
         barrier.done.wait()
         if barrier.error is not None:
             raise barrier.error
+
+    @staticmethod
+    def _traced_chunk(
+        chunk: Callable[[list], None], index: int
+    ) -> Callable[[list], None]:
+        def run(regs: list) -> None:
+            with obs_trace.span(
+                "wavefront.chunk", "exec", {"chunk": index}
+            ):
+                chunk(regs)
+
+        return run
 
     def close(self) -> None:
         """Stop the workers (used by tests; shared pools live forever)."""

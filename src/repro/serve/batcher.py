@@ -18,6 +18,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs import trace as obs_trace
 from repro.serve.request import QueueFullError, Request, ServerClosed
 
 __all__ = ["BatchPolicy", "RequestQueue", "MicroBatcher", "PlannedBatch"]
@@ -121,13 +122,35 @@ class PlannedBatch:
 
 
 class MicroBatcher:
-    """Coalesces queued requests into per-(kind, bucket) micro-batches."""
+    """Coalesces queued requests into per-(kind, bucket) micro-batches.
+
+    ``on_batch_close(planned)`` — when set — fires *outside* the queue
+    lock, immediately after a batch (or a shed-only verdict) is taken.
+    It exists for event-driven synchronization: tests wait on a batch
+    actually closing instead of sleeping past an estimated coalescing
+    window.
+    """
 
     def __init__(self, queue: RequestQueue, policy: BatchPolicy) -> None:
         self.queue = queue
         self.policy = policy
+        self.on_batch_close = None
 
     def next_batch(self, on_take=None) -> PlannedBatch | None:
+        """Block for the next dispatchable batch; None = queue closed dry."""
+        planned = self._next_batch(on_take)
+        if planned is not None:
+            with obs_trace.span(
+                "serve.batch_close", "serve",
+                {"occupancy": planned.occupancy, "shed": len(planned.shed)},
+            ):
+                pass
+            callback = self.on_batch_close
+            if callback is not None:
+                callback(planned)
+        return planned
+
+    def _next_batch(self, on_take=None) -> PlannedBatch | None:
         """Block for the next dispatchable batch; None = queue closed dry.
 
         ``on_take(planned)`` runs under the queue lock in the same

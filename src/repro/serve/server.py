@@ -32,6 +32,9 @@ import time
 from concurrent.futures import Future
 from typing import Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.batcher import BatchPolicy, MicroBatcher, RequestQueue
 from repro.serve.request import (
     DeadlineExceeded,
@@ -54,6 +57,7 @@ class InferenceServer:
         policy: BatchPolicy | None = None,
         default_deadline_ms: float | None = None,
         warmup: bool = True,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.session = session
         self.policy = policy or BatchPolicy(
@@ -65,7 +69,9 @@ class InferenceServer:
                 f"session compiled batch {session.max_batch_size}"
             )
         self.default_deadline_ms = default_deadline_ms
-        self.stats = ServerStats()
+        if metrics is None:
+            metrics = obs_metrics.registry()
+        self.stats = ServerStats(metrics=metrics)
         self.queue = RequestQueue(self.policy.max_queue_depth)
         self.batcher = MicroBatcher(self.queue, self.policy)
         self._warmup_on_start = warmup
@@ -103,6 +109,24 @@ class InferenceServer:
         Returns True when fully drained within ``timeout``.
         """
         self._accepting = False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self.queue._items or self._inflight > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Wait until no work is queued or in flight; admissions stay open.
+
+        The event-driven replacement for "sleep long enough for the
+        server to catch up" in tests: returns True the moment the last
+        dispatched batch resolves (within ``timeout``).
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._idle:
             while self.queue._items or self._inflight > 0:
@@ -163,16 +187,21 @@ class InferenceServer:
                 if deadline_ms is not None else None
             ),
         )
-        try:
-            request.bucket = self.session.bucket_for_length(len(tokens))
-        except ValueError:
-            self.stats.on_reject_invalid()
-            raise
-        try:
-            depth = self.queue.put(request, timeout=timeout)
-        except Exception:
-            self.stats.on_reject_full()
-            raise
+        with obs_trace.span(
+            "serve.enqueue", "serve",
+            {"kind": kind.name, "tokens": len(tokens)},
+        ) as sp:
+            try:
+                request.bucket = self.session.bucket_for_length(len(tokens))
+            except ValueError:
+                self.stats.on_reject_invalid()
+                raise
+            try:
+                depth = self.queue.put(request, timeout=timeout)
+            except Exception:
+                self.stats.on_reject_full()
+                raise
+            sp["depth"] = depth
         self.stats.on_submit(depth)
         return request.future
 
@@ -215,20 +244,28 @@ class InferenceServer:
     def _run_planned(self, requests: list[Request]) -> None:
         head = requests[0]
         try:
-            results = self.session.run_batch(
-                head.kind, head.bucket, requests
-            )
+            with obs_trace.span(
+                "serve.decode", "serve",
+                {"kind": head.kind.name, "bucket": str(head.bucket),
+                 "occupancy": len(requests)},
+            ):
+                results = self.session.run_batch(
+                    head.kind, head.bucket, requests
+                )
         except Exception as exc:  # noqa: BLE001 - forwarded to clients
             for req in requests:
                 if not req.future.done():
                     req.future.set_exception(exc)
             self.stats.on_failure(len(requests))
             return
-        now = time.monotonic()
-        latencies = []
-        for req, result in zip(requests, results):
-            req.future.set_result(result)
-            latencies.append(req.latency_s(now) * 1000.0)
+        with obs_trace.span(
+            "serve.respond", "serve", {"occupancy": len(requests)}
+        ):
+            now = time.monotonic()
+            latencies = []
+            for req, result in zip(requests, results):
+                req.future.set_result(result)
+                latencies.append(req.latency_s(now) * 1000.0)
         self.stats.on_batch(len(requests), latencies)
 
     # -- reporting ----------------------------------------------------------

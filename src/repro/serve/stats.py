@@ -15,13 +15,21 @@ import math
 import threading
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["ServerStats", "percentile"]
 
 
-def percentile(values: list[float], p: float) -> float:
-    """Nearest-rank percentile (p in [0, 100]); 0.0 on empty input."""
+def percentile(values: list[float], p: float) -> float | None:
+    """Nearest-rank percentile (p in [0, 100]).
+
+    Degenerate windows are honest instead of fabricated: an empty window
+    has *no* percentile and returns ``None`` (0.0 used to masquerade as
+    a real zero-millisecond latency); a single-sample window returns
+    that exact sample for every p.
+    """
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
     rank = max(1, math.ceil(p / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
@@ -34,9 +42,16 @@ class _CacheMark:
 
 
 class ServerStats:
-    """Thread-safe accumulator for one server's lifetime metrics."""
+    """Thread-safe accumulator for one server's lifetime metrics.
 
-    def __init__(self) -> None:
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is attached
+    (``metrics=``), every recording call mirrors into it live — the
+    ``serve.*`` counters/histograms — so one registry snapshot covers
+    serving alongside training and the plan cache.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics
         self._lock = threading.Lock()
         self.submitted = 0
         self.completed = 0
@@ -58,18 +73,27 @@ class ServerStats:
             self.submitted += 1
             self.queue_depth_peak = max(self.queue_depth_peak, depth)
             self.depth_samples.append(depth)
+        if self.metrics is not None:
+            self.metrics.counter("serve.submitted").inc()
+            self.metrics.gauge("serve.queue_depth").set(depth)
 
     def on_reject_full(self) -> None:
         with self._lock:
             self.rejected_full += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.rejected_full").inc()
 
     def on_reject_invalid(self) -> None:
         with self._lock:
             self.rejected_invalid += 1
+        if self.metrics is not None:
+            self.metrics.counter("serve.rejected_invalid").inc()
 
     def on_shed(self, count: int = 1) -> None:
         with self._lock:
             self.shed += count
+        if self.metrics is not None:
+            self.metrics.counter("serve.shed").inc(count)
 
     def on_batch(self, occupancy: int, latencies_ms: list[float]) -> None:
         with self._lock:
@@ -77,10 +101,19 @@ class ServerStats:
             self.batch_sizes.append(occupancy)
             self.latencies_ms.extend(latencies_ms)
             self.completed += occupancy
+        if self.metrics is not None:
+            self.metrics.counter("serve.batches").inc()
+            self.metrics.counter("serve.completed").inc(occupancy)
+            self.metrics.histogram("serve.batch_occupancy").observe(occupancy)
+            latency = self.metrics.histogram("serve.latency_ms")
+            for ms in latencies_ms:
+                latency.observe(ms)
 
     def on_failure(self, count: int = 1) -> None:
         with self._lock:
             self.failed += count
+        if self.metrics is not None:
+            self.metrics.counter("serve.failed").inc(count)
 
     def mark_cache(self, plan_cache) -> None:
         """Snapshot plan-cache counters (call after warmup); the hit rate
@@ -91,7 +124,7 @@ class ServerStats:
 
     # -- derived metrics ----------------------------------------------------
 
-    def latency_ms(self, p: float) -> float:
+    def latency_ms(self, p: float) -> float | None:
         with self._lock:
             return percentile(self.latencies_ms, p)
 
@@ -150,8 +183,15 @@ class ServerStats:
         from repro.profiler import sparkline
 
         snap = self.snapshot(plan_cache)
-        rows = [(k, f"{v:.3f}" if isinstance(v, float) else str(v))
-                for k, v in snap.items()]
+        rows = [
+            (
+                k,
+                "-" if v is None
+                else f"{v:.3f}" if isinstance(v, float)
+                else str(v),
+            )
+            for k, v in snap.items()
+        ]
         with self._lock:
             depths = list(self.depth_samples)
         if depths:

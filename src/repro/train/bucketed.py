@@ -18,6 +18,7 @@ from repro.echo import EchoConfig, EchoPass
 from repro.gpumodel import DeviceModel
 from repro.models.nmt import NmtConfig, build_nmt
 from repro.nn import ParamStore
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Arena, PlanCache
 from repro.train.optimizer import Optimizer
 from repro.train.trainer import TrainRecord, Trainer
@@ -41,10 +42,12 @@ class BucketedTrainer:
         device: DeviceModel | None = None,
         threads: int | None = None,
         batch_gemms: bool | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not buckets:
             raise ValueError("need at least one bucket")
         self.buckets = buckets
+        self.metrics = metrics
         if device is None:
             # Calibrated when a tuning store has coverage; and since the
             # shared PlanCache below attaches the same store, construction
@@ -88,6 +91,7 @@ class BucketedTrainer:
                 plan_cache=self.plan_cache,
                 threads=threads,
                 batch_gemms=batch_gemms,
+                metrics=metrics,
             )
         self.store = store
         self.history: list[TrainRecord] = []

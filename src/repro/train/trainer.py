@@ -16,6 +16,9 @@ import numpy as np
 
 from repro.autodiff.training import TrainingGraph
 from repro.gpumodel import DeviceModel
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime import Arena, PlanCache, TrainingExecutor
 from repro.train.metrics import perplexity
 from repro.train.optimizer import Optimizer
@@ -70,10 +73,14 @@ class Trainer:
         plan_cache: PlanCache | None = None,
         threads: int | None = None,
         batch_gemms: bool | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.graph = graph
         self.params = params
         self.optimizer = optimizer
+        #: explicit metrics sink; falls back to the global registry (when
+        #: enabled) so ``REPRO_METRICS=1`` instruments existing callers.
+        self.metrics = metrics if metrics is not None else obs_metrics.registry()
         self.device = device or DeviceModel()
         self.executor = TrainingExecutor(
             graph,
@@ -108,12 +115,15 @@ class Trainer:
         return self.device.power_watts(self._kernel_busy)
 
     def step(self, feeds: Mapping[str, np.ndarray]) -> TrainRecord:
-        loss, grads, _ = self.executor.run(feeds, self.params)
-        if not np.isfinite(loss):
-            raise FloatingPointError(
-                f"loss diverged to {loss} at step {len(self.history)}"
-            )
-        grad_norm = self.optimizer.update(self.params, grads)
+        with obs_trace.span(
+            "train.step", "train", {"step": len(self.history) + 1}
+        ):
+            loss, grads, _ = self.executor.run(feeds, self.params)
+            if not np.isfinite(loss):
+                raise FloatingPointError(
+                    f"loss diverged to {loss} at step {len(self.history)}"
+                )
+            grad_norm = self.optimizer.update(self.params, grads)
         self._sim_clock += self.iteration_seconds
         self._samples += self.batch_size
         record = TrainRecord(
@@ -126,7 +136,19 @@ class Trainer:
         )
         self.history.append(record)
         self.speedometer.update(self._samples, self._sim_clock)
+        self._record_metrics(record)
         return record
+
+    def _record_metrics(self, record: TrainRecord) -> None:
+        """Stream one step's observations into the metrics sink (if any)."""
+        reg = self.metrics
+        if reg is None:
+            return
+        reg.counter("train.steps").inc()
+        reg.gauge("train.samples_seen").set(record.samples_seen)
+        reg.gauge("train.loss").set(record.loss)
+        reg.histogram("train.grad_norm").observe(record.grad_norm)
+        reg.gauge("train.throughput").set(self.speedometer.throughput())
 
     def run_epoch(self, batches: Iterable[Mapping[str, np.ndarray]]
                   ) -> list[TrainRecord]:

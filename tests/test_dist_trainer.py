@@ -314,6 +314,43 @@ class TestGlobalClipping:
             )
 
 
+# -- event-driven synchronization + metrics ----------------------------------
+
+def _event_sync_rank(group, cfg, batches):
+    """Worker: rely on ``step_done`` (never a sleep) and mirror metrics."""
+    from repro.obs import MetricsRegistry
+
+    model = build_word_lm(cfg)
+    params = model.store.initialize(seed=100 + group.rank)
+    reg = MetricsRegistry()
+    with DistributedTrainer(
+        group, model.graph, params, SGD(0.2), metrics=reg
+    ) as trainer:
+        for feeds in batches:
+            trainer.step(feeds)
+            # Event-driven sync point: already set once step() returns,
+            # so a zero-timeout wait must succeed.
+            assert trainer.step_done.wait(timeout=0)
+    return reg.snapshot()
+
+
+class TestEventDrivenSync:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_step_done_and_metrics_mirror(self, backend):
+        cfg = _cfg(shard_batch=2)
+        batches = _global_batches(4, steps=2)
+        snaps = run_distributed(
+            _event_sync_rank, 2, backend=backend, args=(cfg, batches),
+        )
+        for rank, snap in enumerate(snaps):
+            assert snap["train.steps"] == 2
+            prefix = f"dist.rank{rank}."
+            dist_keys = [k for k in snap if k.startswith(prefix)]
+            assert dist_keys, snap.keys()
+            frac = snap[prefix + "overlap_fraction"]
+            assert 0.0 <= frac <= 1.0
+
+
 # -- fault tolerance ---------------------------------------------------------
 
 def _dying_rank_training(group, cfg, batches, victim, die_after):

@@ -28,6 +28,7 @@ from repro.serve import (
     RequestKind,
     RequestQueue,
     ServerClosed,
+    ServerStats,
     percentile,
 )
 
@@ -246,9 +247,15 @@ class TestMicroBatcher:
         assert len(batcher.next_batch().requests) == 1
 
     def test_waits_for_coalescing_window(self):
+        # Event-driven, no sleeps: the window (10s) is far longer than the
+        # test, so the *only* way the batcher can return is the fourth put
+        # reaching max_batch_size. A premature dispatch yields a short
+        # batch and fails the occupancy assertion deterministically.
         queue = RequestQueue(max_depth=16)
         batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=4,
-                                                  max_wait_ms=200.0))
+                                                  max_wait_ms=10_000.0))
+        closed = threading.Event()
+        batcher.on_batch_close = lambda planned: closed.set()
         queue.put(_req([1, 2], BUCKETS[0]))
         got = []
 
@@ -257,10 +264,10 @@ class TestMicroBatcher:
 
         t = threading.Thread(target=consume)
         t.start()
-        time.sleep(0.02)  # inside the window: batcher should still wait
         queue.put(_req([3, 4], BUCKETS[0]))
         queue.put(_req([5, 6], BUCKETS[0]))
         queue.put(_req([7, 8], BUCKETS[0]))  # fills max_batch_size -> dispatch
+        assert closed.wait(timeout=5.0)
         t.join(timeout=5.0)
         assert not t.is_alive()
         assert len(got[0].requests) == 4
@@ -315,19 +322,23 @@ class TestRequestQueueBackpressure:
             queue.put(_req([1, 2], BUCKETS[0]), timeout=0.0)
 
     def test_put_waits_for_space(self):
+        # Event-driven, no sleeps: the queue holds one request, so the
+        # second put blocks until the batcher's removal frees the slot —
+        # whichever thread runs first, the put must eventually succeed
+        # and the batch-close event must fire.
         queue = RequestQueue(max_depth=1)
         batcher = MicroBatcher(queue, BatchPolicy(max_batch_size=1,
                                                   max_wait_ms=0.0))
+        freed = threading.Event()
+        batcher.on_batch_close = lambda planned: freed.set()
         queue.put(_req([1, 2], BUCKETS[0]))
 
-        def free_one():
-            time.sleep(0.05)
-            batcher.next_batch()
-
-        t = threading.Thread(target=free_one)
+        t = threading.Thread(target=batcher.next_batch)
         t.start()
         queue.put(_req([3, 4], BUCKETS[0]), timeout=5.0)  # must not raise
-        t.join()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert freed.wait(timeout=5.0)
         assert len(queue) == 1
 
     def test_put_after_close_raises(self):
@@ -564,6 +575,46 @@ class TestInferenceServer:
         server.shutdown()
         assert server.snapshot()["completed"] == 12
 
+    def test_wait_idle_is_event_driven(self, model):
+        # wait_idle returns the moment in-flight work resolves, with
+        # admissions still open — the no-sleep way to quiesce a server
+        # mid-test before asserting on its stats.
+        session = make_session(model)
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=0.0,
+                                 max_queue_depth=64),
+        )
+        with server:
+            futures = [server.submit([5, 6, 7], timeout=5.0)
+                       for _ in range(6)]
+            assert server.wait_idle(timeout=60.0)
+            assert all(f.done() for f in futures)
+            # Still accepting: a post-idle submit is served normally.
+            assert server.submit([5, 6, 7], timeout=5.0).result(timeout=60.0)
+
+    def test_metrics_registry_mirrors_stats(self, model):
+        from repro.obs import MetricsRegistry
+
+        session = make_session(model)
+        reg = MetricsRegistry()
+        server = InferenceServer(
+            session, BatchPolicy(max_batch_size=4, max_wait_ms=0.0),
+            metrics=reg,
+        )
+        with server:
+            for _ in range(5):
+                server.submit([5, 6, 7], timeout=5.0)
+            assert server.wait_idle(timeout=60.0)
+        snap = reg.snapshot()
+        assert snap["serve.submitted"] == 5
+        assert snap["serve.completed"] == 5
+        assert snap["serve.latency_ms"]["count"] == 5
+        assert snap["serve.batch_occupancy"]["count"] >= 1
+        # Exact-bucket percentile on the mirrored histogram is a real
+        # observed value, never an interpolation.
+        p99 = snap["serve.latency_ms"]["p99"]
+        assert p99 is not None and p99 >= 0.0
+
     def test_warmup_runs_on_start(self, model):
         session = make_session(model)
         with InferenceServer(session) as server:
@@ -588,8 +639,29 @@ class TestServerStats:
         assert percentile(values, 95) == 95.0
         assert percentile(values, 99) == 99.0
         assert percentile(values, 100) == 100.0
-        assert percentile([], 99) == 0.0
-        assert percentile([7.0], 50) == 7.0
+
+    def test_percentile_empty_window_is_none(self):
+        # Regression: an empty window used to report a fabricated 0.0
+        # "latency"; there is no percentile of nothing.
+        for p in (0, 50, 99, 100):
+            assert percentile([], p) is None
+
+    def test_percentile_single_sample_is_exact(self):
+        # Regression: a single-sample window returns that exact sample
+        # for every p, never an interpolation artifact.
+        for p in (0, 1, 50, 99, 100):
+            assert percentile([7.0], p) == 7.0
+
+    def test_empty_stats_snapshot_has_no_fake_latencies(self):
+        snap = ServerStats().snapshot()
+        assert snap["latency_ms_p50"] is None
+        assert snap["latency_ms_p99"] is None
+        assert snap["completed"] == 0
+
+    def test_format_report_handles_empty_windows(self):
+        report = ServerStats().format_report()
+        assert "latency_ms_p99" in report
+        assert "None" not in report
 
     def test_report_contains_key_metrics(self, model):
         session = make_session(model)
